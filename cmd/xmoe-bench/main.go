@@ -1,0 +1,90 @@
+// Command xmoe-bench regenerates the paper's evaluation artifacts: every
+// table and figure of §5 and the appendices, printed as paper-vs-measured
+// tables. Run with -list to see experiment names.
+//
+// Usage:
+//
+//	xmoe-bench [-experiment all] [-quick] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"xmoe/internal/bench"
+)
+
+var experiments = map[string]func(opts bench.Options){
+	"table1": func(o bench.Options) { bench.Table1SizeEquivalence(os.Stdout) },
+	"fig3":   func(o bench.Options) { bench.Figure3MemoryDistribution(os.Stdout) },
+	"fig4":   func(o bench.Options) { bench.Figure4Redundancy(os.Stdout, o) },
+	"fig9":   func(o bench.Options) { bench.Figure9MainResults(os.Stdout, o) },
+	"fig10a": func(o bench.Options) { bench.Figure10aWeakScaling(os.Stdout, o) },
+	"fig10b": func(o bench.Options) { bench.Figure10bStrongScaling(os.Stdout, o) },
+	"fig11":  func(o bench.Options) { bench.Figure11LayerBreakdown(os.Stdout, o) },
+	"fig12":  func(o bench.Options) { bench.Figure12RBDBreakdown(os.Stdout, o) },
+	"table4": func(o bench.Options) { bench.Table4ActivationMemory(os.Stdout) },
+	"fig13":  func(o bench.Options) { bench.Figure13SSMBMemory(os.Stdout) },
+	"fig14":  func(o bench.Options) { bench.Figure14SSMBvsCkpt(os.Stdout, o) },
+	"table5": func(o bench.Options) { bench.Table5CrossPlatform(os.Stdout, o) },
+	"fig15":  func(o bench.Options) { bench.Figure15LossValidation(os.Stdout, o) },
+	"fig17":  func(o bench.Options) { bench.Figure17AdvantageRegions(os.Stdout) },
+	"fig18":  func(o bench.Options) { bench.Figure18AlltoAllScaling(os.Stdout, o) },
+	"fig20":  func(o bench.Options) { bench.Figure20DepthTopK(os.Stdout, o) },
+	"appc1":  func(o bench.Options) { bench.AppendixC1Placement(os.Stdout) },
+	// Ablations beyond the paper's figures (design choices of §4).
+	"abl-pilot":    func(o bench.Options) { bench.AblationPilotSelection(os.Stdout, o) },
+	"abl-capacity": func(o bench.Options) { bench.AblationCapacityFactor(os.Stdout, o) },
+	"abl-rbd-ep":   func(o bench.Options) { bench.AblationRBDByEPSize(os.Stdout, o) },
+}
+
+// order fixes the presentation sequence for -experiment all.
+var order = []string{
+	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
+	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
+	"abl-pilot", "abl-capacity", "abl-rbd-ep",
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (or 'all'); see -list")
+	quick := flag.Bool("quick", false, "reduced iteration counts and sweep ranges")
+	seed := flag.Uint64("seed", 42, "seed for routing and congestion sampling")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	opts := bench.Options{Seed: *seed, Quick: *quick}
+	run := func(name string) {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fn(opts)
+		fmt.Printf("  [%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}

@@ -1,0 +1,70 @@
+// Command xmoe-topo explores the simulated HPC topologies and
+// characterises collective performance on them: link classes and
+// bandwidths, rack boundaries, and the Appendix-D all-to-all latency
+// characterisation across scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmoe/internal/bench"
+	"xmoe/internal/netsim"
+	"xmoe/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "frontier", "machine profile: frontier or dgx-a100")
+	gpus := flag.Int("gpus", 64, "GPU count for the collective cost table")
+	bytes := flag.Int64("bytes", 32<<20, "per-rank payload for the collective cost table")
+	characterise := flag.Bool("characterize", false, "run the Appendix-D all-to-all characterisation (Figs. 18/19)")
+	seed := flag.Uint64("seed", 42, "congestion sampling seed")
+	flag.Parse()
+
+	var m *topology.Machine
+	switch *machine {
+	case "frontier":
+		m = topology.Frontier()
+	case "dgx-a100", "dgx":
+		m = topology.DGXA100()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	fmt.Printf("machine %s: %d GPUs/node (%d per fast pair), %d nodes/rack\n",
+		m.Name, m.GPUsPerNode, m.GPUsPerPair, m.NodesPerRack)
+	fmt.Printf("device %s: %.1f TFLOPs peak, %.0f GB HBM, %.0f GB/s HBM bandwidth\n",
+		m.Device.Name, m.Device.PeakFLOPs/1e12, float64(m.Device.MemBytes)/1e9, m.Device.HBMBandwidth/1e9)
+	fmt.Println("\nlink classes:")
+	for _, c := range []topology.LinkClass{topology.LinkGCDPair, topology.LinkIntraNode,
+		topology.LinkInterNode, topology.LinkCrossRack} {
+		spec := m.Link(c)
+		fmt.Printf("  %-12s %6.0f GB/s  α=%.1f µs\n", c, spec.Bandwidth/1e9, spec.Latency*1e6)
+	}
+
+	net := netsim.New(m, *seed)
+	net.DisableCongestion = true
+	ranks := make([]int, *gpus)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	fmt.Printf("\ncollective costs over %d GPUs, %d MiB per rank:\n", *gpus, *bytes>>20)
+	a2a := net.AlltoAll(ranks, *bytes/int64(*gpus))
+	fmt.Printf("  all-to-all:     %8.2f ms  (inter-node bytes: %d MiB)\n",
+		a2a.Seconds*1e3, a2a.InterNodeBytes()>>20)
+	ar := net.AllReduce(ranks, *bytes)
+	fmt.Printf("  all-reduce:     %8.2f ms\n", ar.Seconds*1e3)
+	per := make([]int64, *gpus)
+	for i := range per {
+		per[i] = *bytes / int64(*gpus)
+	}
+	ag := net.AllGather(ranks, per)
+	fmt.Printf("  all-gather:     %8.2f ms\n", ag.Seconds*1e3)
+	fmt.Printf("  barrier:        %8.3f ms\n", net.Barrier(ranks).Seconds*1e3)
+
+	if *characterise {
+		bench.Figure18AlltoAllScaling(os.Stdout, bench.Options{Seed: *seed})
+	}
+}

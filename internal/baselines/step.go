@@ -1,0 +1,365 @@
+package baselines
+
+import (
+	"fmt"
+	"strings"
+
+	"xmoe/internal/memmodel"
+	"xmoe/internal/model"
+	"xmoe/internal/moe"
+	"xmoe/internal/parallel"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/rbd"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+	"xmoe/internal/trace"
+)
+
+// RunSpec describes one training-throughput measurement point.
+type RunSpec struct {
+	// Shape is the model architecture.
+	Shape model.Shape
+	// Machine is the platform (Frontier or DGX-A100).
+	Machine *topology.Machine
+	// World is the GPU count.
+	World int
+	// Plan is the hybrid parallel layout.
+	Plan parallel.Plan
+	// MicroBatch is the per-GPU micro-batch in sequences.
+	MicroBatch int
+	// GlobalBatch is the global batch in sequences.
+	GlobalBatch int
+	// Seed drives routing and congestion sampling.
+	Seed uint64
+	// Congestion enables the cross-rack outlier model (Appendix D).
+	Congestion bool
+	// ActCkpt enables activation checkpointing (Fig. 14's alternative).
+	ActCkpt bool
+	// SkipMemCheck simulates timing even when the full model would not
+	// fit device memory — used by layer-level microbenchmarks (Fig. 11)
+	// that the paper measures in isolation.
+	SkipMemCheck bool
+}
+
+// memOverheadBytes is the fixed framework overhead per GPU (runtime
+// context, RCCL buffers, workspace) and memFragmentation the allocator
+// slack factor — shared by all systems.
+const (
+	memOverheadBytes = int64(2) << 30
+	memFragmentation = 1.05
+)
+
+// StepResult reports one simulated training iteration.
+type StepResult struct {
+	// OOM indicates the configuration does not fit device memory.
+	OOM bool
+	// PeakMemGB is the projected per-GPU memory (states + activations +
+	// overhead), in GiB.
+	PeakMemGB float64
+	// StatesGB and ActsGB break the projection down.
+	StatesGB, ActsGB float64
+	// IterSeconds is the simulated time of one optimizer iteration.
+	IterSeconds float64
+	// TFLOPsPerGPU is achieved model FLOPs per GPU (the paper's
+	// throughput metric).
+	TFLOPsPerGPU float64
+	// AggPFLOPs is the aggregate PFLOP/s across all GPUs.
+	AggPFLOPs float64
+	// MicroSteps is the gradient-accumulation depth.
+	MicroSteps int
+	// LayerForward is the average per-rank forward time of one MoE
+	// transformer layer, by pipeline stage (Fig. 11's quantity).
+	LayerForward map[string]float64
+	// Err records configuration errors (invalid plans).
+	Err error
+}
+
+// isCommStage reports whether a trace stage name denotes communication
+// (charged once more in backward) rather than compute (charged twice).
+func isCommStage(name string) bool {
+	return strings.Contains(name, "a2a") || strings.Contains(name, "allgather") ||
+		strings.Contains(name, "allreduce") || name == "barrier"
+}
+
+// SimulateStep estimates one training iteration of the given system and
+// spec: the memory-model OOM verdict, a one-layer SPMD simulation on the
+// virtual cluster (forward; backward charged as 2x compute + 1x identical
+// communication volume), scaled to the full depth, gradient accumulation,
+// and gradient synchronisation.
+func SimulateStep(sys Config, spec RunSpec) StepResult {
+	if err := spec.Plan.Validate(); err != nil {
+		return StepResult{Err: err}
+	}
+	if spec.Shape.NumExperts%spec.Plan.EP != 0 || spec.Plan.EP > spec.Shape.NumExperts {
+		return StepResult{Err: fmt.Errorf("EP %d incompatible with %d experts", spec.Plan.EP, spec.Shape.NumExperts)}
+	}
+
+	// --- Memory verdict ----------------------------------------------------
+	setup := sys.MemSetup(spec.Plan, spec.MicroBatch)
+	setup.ActCkpt = spec.ActCkpt
+	states := memmodel.ModelStates(spec.Shape, setup)
+	acts := memmodel.Activations(spec.Shape, setup)
+	peak := int64(float64(states+acts)*memFragmentation) + memOverheadBytes
+	res := StepResult{
+		PeakMemGB: float64(peak) / (1 << 30),
+		StatesGB:  float64(states) / (1 << 30),
+		ActsGB:    float64(acts) / (1 << 30),
+	}
+	if peak > spec.Machine.Device.MemBytes && !spec.SkipMemCheck {
+		res.OOM = true
+		return res
+	}
+
+	// --- One-layer SPMD simulation -----------------------------------------
+	cluster := simrt.NewCluster(spec.Machine, spec.World, spec.Seed)
+	cluster.Net.DisableCongestion = !spec.Congestion
+	// One simulated layer stands for all layers, so congestion must enter
+	// as its expectation rather than a single sample.
+	cluster.Net.ExpectedCongestion = true
+
+	epGroups := make([]*simrt.Group, 0)
+	groupOfRank := make([]*simrt.Group, spec.World)
+	for _, ranks := range spec.Plan.EPGroups() {
+		g := cluster.NewGroup(ranks)
+		epGroups = append(epGroups, g)
+		for _, r := range ranks {
+			groupOfRank[r] = g
+		}
+	}
+	tpOfRank := make([]*simrt.Group, spec.World)
+	if spec.Plan.TP > 1 {
+		for _, ranks := range spec.Plan.TPGroups() {
+			g := cluster.NewGroup(ranks)
+			for _, r := range ranks {
+				tpOfRank[r] = g
+			}
+		}
+	}
+	var dispatchers map[*simrt.Group]*rbd.Dispatcher
+	if sys.RBD {
+		dispatchers = make(map[*simrt.Group]*rbd.Dispatcher, len(epGroups))
+	}
+
+	cfg := moe.Config{
+		NumExperts:     spec.Shape.NumExperts,
+		TopK:           spec.Shape.TopK,
+		HModel:         spec.Shape.HModel,
+		HFFN:           spec.Shape.HFFN,
+		CapacityFactor: 1.25,
+		BytesPerElem:   2,
+	}
+	if sys.RBD {
+		for _, g := range epGroups {
+			dispatchers[g] = rbd.NewDispatcher(cluster, g, cfg)
+		}
+	}
+
+	opts := sys.PipelineOpts()
+	sTokens := spec.MicroBatch * spec.Shape.SeqLen
+	h := spec.Shape.HModel
+
+	ranks, err := cluster.RunCollect(func(r *simrt.Rank) error {
+		comp := r.C.Comp
+		ep := groupOfRank[r.ID]
+		tp := tpOfRank[r.ID]
+
+		// Dense (attention) block: QKV/output projections plus
+		// score/context GEMMs, TP-sharded, followed by the TP
+		// all-reduce on the block output.
+		tpDeg := spec.Plan.TP
+		r.Compute("dense_gemm",
+			comp.GEMM(sTokens, h, 4*h/tpDeg)+
+				comp.GEMM(sTokens, h/tpDeg, spec.Shape.SeqLen)+
+				comp.GEMM(sTokens, spec.Shape.SeqLen, h/tpDeg))
+		// Norms, residuals, dropout and other elementwise traffic around
+		// the block.
+		r.Kernel("dense_elemwise", perfmodel.ClassVendor, 6*int64(sTokens)*int64(h)*2)
+		if tp != nil {
+			r.AllReduce(tp, "tp_allreduce", nil, int64(sTokens)*int64(h)*2)
+		}
+
+		// MoE block.
+		routing := func(n int, seedOff uint64) moe.Routing {
+			return moe.SyntheticRouting(tensor.NewRNG(spec.Seed+uint64(r.ID)*31+seedOff),
+				n, cfg.NumExperts, cfg.TopK, 0.6)
+		}
+		runInner := func(n int) {
+			rt := routing(n, 7)
+			switch {
+			case sys.RBD:
+				rbd.Forward(r, dispatchers[ep], cfg, n, nil, rt, nil,
+					tensor.NewRNG(spec.Seed^uint64(r.ID)), opts)
+			case sys.Pipeline == memmodel.PipelinePFT:
+				moe.PFTForward(r, ep, cfg, n, nil, rt, nil, opts)
+			default:
+				moe.PaddedForward(r, ep, cfg, n, nil, rt, nil, opts)
+			}
+		}
+		if sys.SSMB && tp != nil {
+			parallel.SSMBForward(r, tp, sTokens, h, cfg.BytesPerElem, nil,
+				func(lo, hi int, _ *tensor.Tensor) *tensor.Tensor {
+					runInner(hi - lo)
+					return nil
+				})
+		} else {
+			runInner(sTokens)
+		}
+		return nil
+	})
+	if err != nil {
+		return StepResult{Err: err}
+	}
+
+	// --- Assemble iteration time -------------------------------------------
+	var layerFwd, layerBwd float64
+	for _, rk := range ranks {
+		var comm, compT float64
+		for name, d := range rk.Trace.Breakdown() {
+			if isCommStage(name) {
+				comm += d
+			} else {
+				compT += d
+			}
+		}
+		fwd := rk.Clock
+		bwd := 2*compT + comm
+		if spec.ActCkpt {
+			// Recomputation replays the forward pass, and checkpointed
+			// a2a activations cost two extra all-to-alls (§4.3's
+			// argument against checkpointing MoE blocks).
+			bwd += compT + comm
+		}
+		if fwd+bwd > layerFwd+layerBwd {
+			layerFwd, layerBwd = fwd, bwd
+		}
+	}
+	recs := make([]*trace.Recorder, len(ranks))
+	for i, rk := range ranks {
+		recs[i] = rk.Trace
+	}
+	res.LayerForward = trace.Merge(recs, true)
+
+	// Fixed per-micro-step overhead: optimizer bookkeeping, data loading,
+	// host-side launch gaps between layers.
+	const microOverhead = 0.03
+	microTime := float64(spec.Shape.Layers)*(layerFwd+layerBwd) + microOverhead
+
+	dataDP := spec.World / spec.Plan.TP
+	microSteps := spec.GlobalBatch / (spec.MicroBatch * dataDP)
+	if microSteps < 1 {
+		microSteps = 1
+	}
+
+	// Gradient synchronisation (ZeRO-style reduce-scatter + all-gather ≈
+	// one all-reduce over each parameter family's replica group).
+	expertGradBytes := int64(spec.Shape.Layers) * spec.Shape.ExpertParamsPerLayer() / int64(spec.Plan.EP) * 2
+	denseGradBytes := (int64(spec.Shape.Layers)*(spec.Shape.AttentionParamsPerLayer()/int64(spec.Plan.TP)+spec.Shape.RouterParamsPerLayer()) +
+		spec.Shape.EmbeddingParams()/int64(spec.Plan.TP)) * 2
+	var syncTime float64
+	if g := spec.Plan.ExpertDPGroups(); len(g) > 0 && len(g[0]) > 1 {
+		syncTime += cluster.Net.AllReduce(g[0], expertGradBytes).Seconds
+	}
+	if g := spec.Plan.DPGroups(); len(g) > 0 && len(g[0]) > 1 {
+		syncTime += cluster.Net.AllReduce(g[0], denseGradBytes).Seconds
+	}
+
+	res.MicroSteps = microSteps
+	res.IterSeconds = float64(microSteps)*microTime + syncTime
+
+	tokens := float64(spec.GlobalBatch) * float64(spec.Shape.SeqLen)
+	if spec.GlobalBatch < spec.MicroBatch*dataDP {
+		tokens = float64(spec.MicroBatch*dataDP) * float64(spec.Shape.SeqLen)
+	}
+	flops := spec.Shape.FLOPsPerToken() * tokens
+	res.TFLOPsPerGPU = flops / res.IterSeconds / float64(spec.World) / 1e12
+	res.AggPFLOPs = flops / res.IterSeconds / 1e15
+	return res
+}
+
+// MaxMicroBatch returns the largest power-of-two micro-batch (>=1, up to
+// 64) that fits device memory for the system and plan, or 0 when even
+// micro-batch 1 does not fit (§5.1: "maximum micro-batch size of power of
+// 2 under the memory limitation").
+func MaxMicroBatch(sys Config, shape model.Shape, machine *topology.Machine, plan parallel.Plan, actCkpt bool) int {
+	best := 0
+	for mb := 1; mb <= 64; mb *= 2 {
+		setup := sys.MemSetup(plan, mb)
+		setup.ActCkpt = actCkpt
+		peak := int64(float64(memmodel.ModelStates(shape, setup)+memmodel.Activations(shape, setup))*memFragmentation) + memOverheadBytes
+		if peak <= machine.Device.MemBytes {
+			best = mb
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// SweepResult reports the best configuration found for a system.
+type SweepResult struct {
+	// OOM is true when no swept configuration fits memory.
+	OOM bool
+	// Best is the winning step result.
+	Best StepResult
+	// Plan and MicroBatch identify the winning configuration.
+	Plan       parallel.Plan
+	MicroBatch int
+}
+
+// Sweep reproduces the paper's per-system configuration search (§5.1):
+// EP in {32, 64, 128, 256}, ZeRO stages 1-2, TP in {1, 2, 4, 8} for
+// systems that support it, and the maximum power-of-two micro-batch that
+// fits. It returns the configuration with the highest simulated
+// throughput.
+func Sweep(sys Config, shape model.Shape, machine *topology.Machine, world, globalBatch int, seed uint64, congestion bool) SweepResult {
+	eps := []int{8, 16, 32, 64, 128, 256}
+	tps := []int{1}
+	if sys.SupportsTP {
+		tps = []int{1, 2, 4, 8}
+	}
+	zeros := []int{1, 2}
+	if sys.Sys == XMoE {
+		zeros = []int{1}
+	}
+
+	out := SweepResult{OOM: true}
+	for _, ep := range eps {
+		if ep > shape.NumExperts || ep > world || world%ep != 0 || shape.NumExperts%ep != 0 {
+			continue
+		}
+		if sys.MaxEP > 0 && ep > sys.MaxEP {
+			continue
+		}
+		for _, tp := range tps {
+			if world%tp != 0 || tp > world {
+				continue
+			}
+			for _, z := range zeros {
+				plan := parallel.Plan{
+					World: world, TP: tp, EP: ep,
+					Placement: sys.Placement, SSMB: sys.SSMB, ZeROStage: z,
+				}
+				if plan.Validate() != nil {
+					continue
+				}
+				mb := MaxMicroBatch(sys, shape, machine, plan, false)
+				if mb == 0 {
+					continue
+				}
+				r := SimulateStep(sys, RunSpec{
+					Shape: shape, Machine: machine, World: world, Plan: plan,
+					MicroBatch: mb, GlobalBatch: globalBatch, Seed: seed,
+					Congestion: congestion,
+				})
+				if r.Err != nil || r.OOM {
+					continue
+				}
+				if out.OOM || r.TFLOPsPerGPU > out.Best.TFLOPsPerGPU {
+					out = SweepResult{Best: r, Plan: plan, MicroBatch: mb}
+				}
+			}
+		}
+	}
+	return out
+}

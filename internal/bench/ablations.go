@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"xmoe/internal/baselines"
+	"xmoe/internal/memmodel"
+	"xmoe/internal/model"
+	"xmoe/internal/moe"
+	"xmoe/internal/parallel"
+	"xmoe/internal/rbd"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+)
+
+// AblationPilotResult compares pilot-selection strategies.
+type AblationPilotResult struct {
+	RandomA2A, FirstExpertA2A float64 // mean S1 a2a seconds per rank
+}
+
+// AblationPilotSelection quantifies §4.2's design note: random pilot
+// selection balances the Stage-1 all-to-all, whereas always choosing the
+// smallest expert ID within a node concentrates pilot traffic on the
+// lowest-expert ranks and increases the collective's bottleneck time.
+func AblationPilotSelection(w io.Writer, opts Options) AblationPilotResult {
+	m := topology.Frontier()
+	cfg := moe.Config{
+		NumExperts: 256, TopK: 8, HModel: 7168, HFFN: 2048,
+		CapacityFactor: 100, BytesPerElem: 2,
+	}
+	sTokens := 1024
+	if opts.Quick {
+		sTokens = 384
+	}
+
+	run := func(policy rbd.PilotPolicy) float64 {
+		c := simrt.NewCluster(m, 32, opts.Seed)
+		c.Net.DisableCongestion = true
+		g := c.WorldGroup()
+		d := rbd.NewDispatcher(c, g, cfg)
+		ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+			rng := tensor.NewRNG(opts.Seed + uint64(r.ID))
+			rt := moe.SyntheticRouting(rng, sTokens, cfg.NumExperts, cfg.TopK, 0)
+			pft := moe.BuildPFT(rt, cfg.NumExperts, 0, moe.DropByCapacityWeight)
+			st, _ := d.Dispatch(r, pft, nil, tensor.NewRNG(opts.Seed^uint64(r.ID)),
+				rbd.Opts{Pilots: policy})
+			d.Combine(r, st, nil, sTokens, rbd.Opts{Pilots: policy})
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		var total float64
+		for _, rk := range ranks {
+			total += rk.Trace.Total(rbd.StageS1A2A)
+		}
+		return total / float64(len(ranks))
+	}
+
+	res := AblationPilotResult{
+		RandomA2A:      run(rbd.PilotRandom),
+		FirstExpertA2A: run(rbd.PilotFirstExpert),
+	}
+	header(w, "Ablation: RBD pilot selection strategy (Large layer, 32 GPUs)")
+	t := newTable("strategy", "S1 inter-node a2a (ms)")
+	t.add("random (paper)", ms(res.RandomA2A))
+	t.add("smallest expert ID", ms(res.FirstExpertA2A))
+	t.write(w)
+	fmt.Fprintln(w, "  paper (§4.2): biased pilot choice 'will significantly increase the alltoall latency'")
+	return res
+}
+
+// AblationCapacityResult sweeps the expert capacity factor.
+type AblationCapacityResult struct {
+	Factors  []float64
+	DropFrac []float64 // dropped fraction of assignments
+	MemGB    []float64 // per-layer activation memory, padded pipeline
+}
+
+// AblationCapacityFactor sweeps the GShard capacity factor: smaller
+// factors drop more tokens (hurting quality, §5.6) while larger factors
+// inflate the padded pipeline's buffers (the waste PFT removes). X-MoE's
+// padding-free memory is insensitive to the factor until capacity binds.
+func AblationCapacityFactor(w io.Writer, opts Options) AblationCapacityResult {
+	res := AblationCapacityResult{Factors: []float64{0.5, 1.0, 1.25, 2.0, 4.0}}
+	const s, e, k = 2048, 64, 6
+	sh := model.Small()
+	rt := moe.SyntheticRouting(tensor.NewRNG(opts.Seed), s, e, k, 0.8)
+
+	header(w, "Ablation: expert capacity factor (Small config, skewed routing)")
+	t := newTable("factor", "dropped %", "padded act (GiB/layer)", "PFT act (GiB/layer)")
+	for _, f := range res.Factors {
+		capTokens := int(f*float64(s)*float64(k)/float64(e) + 0.999999)
+		pft := moe.BuildPFT(rt, e, capTokens, moe.DropByCapacityWeight)
+		dropFrac := float64(pft.Dropped) / float64(s*k)
+		res.DropFrac = append(res.DropFrac, dropFrac)
+
+		mkMem := func(pipe memmodel.Pipeline) float64 {
+			st := baselines.For(baselines.DeepSpeedMoE, topology.Frontier()).MemSetup(
+				parallel.Plan{World: 64, TP: 1, EP: 64, ZeROStage: 1}, 1)
+			st.CapacityFactor = f
+			st.Pipeline = pipe
+			return float64(memmodel.MoELayer(sh, st, s).Total()) / (1 << 30)
+		}
+		padded := mkMem(memmodel.PipelinePadded)
+		pftMem := mkMem(memmodel.PipelinePFT)
+		res.MemGB = append(res.MemGB, padded)
+		t.add(fmt.Sprintf("%.2f", f),
+			fmt.Sprintf("%.1f", dropFrac*100),
+			fmt.Sprintf("%.3f", padded),
+			fmt.Sprintf("%.3f", pftMem))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "  padded buffers grow linearly with the factor; PFT memory is bounded by the")
+	fmt.Fprintln(w, "  real routed tokens (the paper's padding-free motivation, §4.1)")
+	return res
+}
+
+// AblationRBDByEPResult records RBD's dispatch-communication saving per EP
+// size.
+type AblationRBDByEPResult struct {
+	EPSizes []int
+	Saving  []float64 // fractional reduction of dispatch a2a time
+}
+
+// AblationRBDByEPSize extends Fig. 12 across EP sizes: RBD's benefit
+// tracks the redundancy rate (Fig. 4), shrinking as experts spread over
+// more nodes.
+func AblationRBDByEPSize(w io.Writer, opts Options) AblationRBDByEPResult {
+	m := topology.Frontier()
+	cfg := moe.Config{
+		NumExperts: 256, TopK: 8, HModel: 4096, HFFN: 2048,
+		CapacityFactor: 100, BytesPerElem: 2,
+	}
+	sTokens := 512
+	if opts.Quick {
+		sTokens = 256
+	}
+	eps := []int{16, 32, 64}
+	if opts.Quick {
+		eps = eps[:2]
+	}
+
+	res := AblationRBDByEPResult{EPSizes: eps}
+	header(w, "Ablation: RBD dispatch-communication saving vs EP size (256 experts, k=8)")
+	t := newTable("EP size", "redundancy %", "plain a2a (ms)", "RBD S1+S2 (ms)", "saving %")
+	for _, ep := range eps {
+		plainT := rbdDispatchTime(m, cfg, ep, sTokens, opts.Seed, false)
+		rbdT := rbdDispatchTime(m, cfg, ep, sTokens, opts.Seed, true)
+		saving := 1 - rbdT/plainT
+		res.Saving = append(res.Saving, saving)
+		red := rbd.ExpectedRedundancyRate(cfg.NumExperts, cfg.TopK, ep/m.GPUsPerNode)
+		t.add(fmt.Sprint(ep), fmt.Sprintf("%.1f", red*100),
+			ms(plainT), ms(rbdT), fmt.Sprintf("%.1f", saving*100))
+	}
+	t.write(w)
+	return res
+}
+
+// rbdDispatchTime measures mean dispatch-side communication time per rank
+// for one EP group, with or without RBD.
+func rbdDispatchTime(m *topology.Machine, cfg moe.Config, ep, sTokens int, seed uint64, useRBD bool) float64 {
+	c := simrt.NewCluster(m, ep, seed)
+	c.Net.DisableCongestion = true
+	g := c.WorldGroup()
+	var d *rbd.Dispatcher
+	if useRBD {
+		d = rbd.NewDispatcher(c, g, cfg)
+	}
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(seed + uint64(r.ID))
+		rt := moe.SyntheticRouting(rng, sTokens, cfg.NumExperts, cfg.TopK, 0)
+		pft := moe.BuildPFT(rt, cfg.NumExperts, 0, moe.DropByCapacityWeight)
+		if useRBD {
+			st, _ := d.Dispatch(r, pft, nil, tensor.NewRNG(seed^uint64(r.ID)), rbd.Opts{})
+			d.Combine(r, st, nil, sTokens, rbd.Opts{})
+		} else {
+			moe.PFTForward(r, g, cfg, sTokens, nil, rt, nil, moe.PipelineOpts{
+				DropPolicy: moe.DropByCapacityWeight,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	var total float64
+	for _, rk := range ranks {
+		if useRBD {
+			total += rk.Trace.Total(rbd.StageS1A2A) + rk.Trace.Total(rbd.StageS2A2A)
+		} else {
+			total += rk.Trace.Total(moe.StageDispatchA2A)
+		}
+	}
+	return total / float64(len(ranks))
+}

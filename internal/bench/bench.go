@@ -1,0 +1,79 @@
+// Package bench is the experiment harness of the reproduction: one entry
+// point per table and figure of the paper's evaluation (§5 and the
+// appendices), each regenerating the artifact's rows/series from the
+// simulated systems and printing them next to the paper's reported
+// values. The cmd/xmoe-bench binary and the repository-root benchmarks
+// drive these entry points.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Options configures experiment execution.
+type Options struct {
+	// Seed drives all stochastic components (routing, congestion).
+	Seed uint64
+	// Quick reduces iteration counts and sweep ranges for use inside
+	// unit tests and testing.B loops; full fidelity runs leave it false.
+	Quick bool
+}
+
+// DefaultOptions returns the seed used for all published outputs.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// header prints a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}
+
+// table is a minimal fixed-width table printer.
+type table struct {
+	cols   []string
+	rows   [][]string
+	widths []int
+}
+
+func newTable(cols ...string) *table {
+	t := &table{cols: cols, widths: make([]int, len(cols))}
+	for i, c := range cols {
+		t.widths[i] = len(c)
+	}
+	return t
+}
+
+func (t *table) add(cells ...string) {
+	for i, c := range cells {
+		if i < len(t.widths) && len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) write(w io.Writer) {
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", t.widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.cols)
+	sep := make([]string, len(t.cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", t.widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// gb formats bytes as GiB.
+func gb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
+
+// ms formats seconds as milliseconds.
+func ms(s float64) string { return fmt.Sprintf("%.2f", s*1e3) }

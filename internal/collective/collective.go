@@ -1,0 +1,157 @@
+// Package collective provides tensor-level collective operations over the
+// simulated runtime: typed wrappers that exchange tensor row segments,
+// gradients and parameter shards between ranks, plus the hierarchical
+// (node-aware) composites X-MoE's communication design builds on. The
+// low-level rendezvous collectives live in internal/simrt; this package
+// gives the MoE pipelines and the training harness a convenient, typed
+// surface.
+package collective
+
+import (
+	"fmt"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// AlltoAllRows exchanges row segments of a matrix among the group: rank i
+// sends rows [offsets[j], offsets[j]+counts[j]) of x to member j, and
+// receives one segment from every member, returned concatenated in member
+// order together with the per-source row counts. elemBytes sets the wire
+// size per element; x may be nil for a symbolic exchange (counts still
+// flow).
+func AlltoAllRows(r *simrt.Rank, g *simrt.Group, name string, x *tensor.Tensor,
+	counts []int, elemBytes int) (*tensor.Tensor, []int) {
+
+	if len(counts) != g.Size() {
+		panic(fmt.Sprintf("collective: %d counts for group of %d", len(counts), g.Size()))
+	}
+	var h int
+	if x != nil {
+		h = x.Cols()
+	}
+	send := make([]simrt.Part, g.Size())
+	off := 0
+	for j, c := range counts {
+		part := simrt.Part{Meta: c, Bytes: int64(c*h) * int64(elemBytes)}
+		if x == nil {
+			// Symbolic: count-only wire size with a nominal row width.
+			part.Bytes = int64(c) * int64(elemBytes)
+		}
+		if x != nil && c > 0 {
+			part.Data = x.Data[off*h : (off+c)*h]
+		}
+		off += c
+		send[j] = part
+	}
+	if x != nil && off != x.Rows() {
+		panic(fmt.Sprintf("collective: counts cover %d rows, x has %d", off, x.Rows()))
+	}
+
+	recv := r.AlltoAllV(g, name, send)
+	recvCounts := make([]int, g.Size())
+	total := 0
+	for s, p := range recv {
+		recvCounts[s] = p.Meta.(int)
+		total += recvCounts[s]
+	}
+	if x == nil {
+		return nil, recvCounts
+	}
+	out := tensor.New(total, h)
+	pos := 0
+	for _, p := range recv {
+		copy(out.Data[pos:pos+len(p.Data)], p.Data)
+		pos += len(p.Data)
+	}
+	return out, recvCounts
+}
+
+// AllReduceTensor sums t elementwise across the group in place, charging
+// the wire size of one ring all-reduce over t's payload.
+func AllReduceTensor(r *simrt.Rank, g *simrt.Group, name string, t *tensor.Tensor, elemBytes int) {
+	sum := r.AllReduce(g, name, t.Data, int64(t.Len())*int64(elemBytes))
+	copy(t.Data, sum)
+}
+
+// AllGatherRows gathers each member's [rows_i, h] tensor into one
+// concatenated [sum rows, h] tensor in member order. Symbolic when t is
+// nil (bytes must then be supplied).
+func AllGatherRows(r *simrt.Rank, g *simrt.Group, name string, t *tensor.Tensor, bytes int64) *tensor.Tensor {
+	part := simrt.Part{Bytes: bytes}
+	if t != nil {
+		part.Data = t.Data
+		part.Bytes = int64(t.Len() * 4)
+	}
+	parts := r.AllGather(g, name, part)
+	if t == nil {
+		return nil
+	}
+	h := t.Cols()
+	total := 0
+	for _, p := range parts {
+		total += len(p.Data)
+	}
+	out := tensor.New(total/h, h)
+	pos := 0
+	for _, p := range parts {
+		copy(out.Data[pos:pos+len(p.Data)], p.Data)
+		pos += len(p.Data)
+	}
+	return out
+}
+
+// BroadcastTensor distributes the root member's tensor to all members,
+// returning a copy on every rank.
+func BroadcastTensor(r *simrt.Rank, g *simrt.Group, name string, rootIdx int, t *tensor.Tensor, elemBytes int) *tensor.Tensor {
+	part := simrt.Part{Bytes: int64(t.Len()) * int64(elemBytes), Data: t.Data, Meta: t.Shape()}
+	got := r.Broadcast(g, name, rootIdx, part)
+	shape := got.Meta.([]int)
+	out := tensor.New(shape...)
+	copy(out.Data, got.Data)
+	return out
+}
+
+// HierarchicalAllReduce sums t across the group using the node-aware
+// two-level schedule (intra-node reduce, inter-node exchange among node
+// leaders, intra-node broadcast). nodeGroups must partition the group by
+// machine node and leaderGroup must contain exactly one member per node;
+// a rank passes its own nodeGroup and, if it is a leader, the
+// leaderGroup (nil otherwise). The numeric result matches a flat
+// all-reduce; the modeled cost reflects the hierarchy.
+func HierarchicalAllReduce(r *simrt.Rank, nodeGroup, leaderGroup *simrt.Group,
+	t *tensor.Tensor, elemBytes int) {
+
+	bytes := int64(t.Len()) * int64(elemBytes)
+	// Intra-node reduce: everyone contributes, the sum lands everywhere
+	// (the leader carries it upward).
+	nodeSum := r.AllReduce(nodeGroup, "hier_intra_reduce", t.Data, bytes)
+	copy(t.Data, nodeSum)
+	// Inter-node exchange among leaders only.
+	if leaderGroup != nil {
+		interSum := r.AllReduce(leaderGroup, "hier_inter_reduce", t.Data, bytes)
+		copy(t.Data, interSum)
+	}
+	// Intra-node broadcast of the global sum from the leader (member 0).
+	out := r.Broadcast(nodeGroup, "hier_intra_bcast", 0,
+		simrt.Part{Data: t.Data, Bytes: bytes})
+	copy(t.Data, out.Data)
+}
+
+// NodePartition builds the per-node subgroups and the leader group for a
+// communicator, for use with HierarchicalAllReduce. Construct once and
+// share across the SPMD body.
+func NodePartition(c *simrt.Cluster, g *simrt.Group) (nodeGroups map[int]*simrt.Group, leaders *simrt.Group) {
+	byNode := map[int][]int{}
+	for _, rank := range g.Ranks() {
+		node := c.Machine.NodeOf(rank)
+		byNode[node] = append(byNode[node], rank)
+	}
+	nodeGroups = make(map[int]*simrt.Group, len(byNode))
+	var leaderRanks []int
+	for node, ranks := range byNode {
+		nodeGroups[node] = c.NewGroup(ranks)
+		leaderRanks = append(leaderRanks, ranks[0])
+	}
+	return nodeGroups, c.NewGroup(leaderRanks)
+}

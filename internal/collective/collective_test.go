@@ -1,0 +1,242 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+)
+
+func testCluster(n int) *simrt.Cluster {
+	c := simrt.NewCluster(topology.Frontier(), n, 17)
+	c.Net.DisableCongestion = true
+	return c
+}
+
+func TestAlltoAllRowsRoundTrip(t *testing.T) {
+	const world, h = 4, 3
+	c := testCluster(world)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		// Rank i sends j+1 rows to member j, each row filled with
+		// 100*i + j.
+		counts := make([]int, world)
+		total := 0
+		for j := range counts {
+			counts[j] = j + 1
+			total += counts[j]
+		}
+		x := tensor.New(total, h)
+		off := 0
+		for j, cnt := range counts {
+			for rr := 0; rr < cnt; rr++ {
+				row := x.Row(off)
+				for k := range row {
+					row[k] = float32(100*r.ID + j)
+				}
+				off++
+			}
+		}
+		out, recvCounts := AlltoAllRows(r, g, "a2a", x, counts, 2)
+		// Member me receives me+1 rows from each source, stamped
+		// 100*src + me.
+		pos := 0
+		me := g.IndexOf(r.ID)
+		for src := 0; src < world; src++ {
+			if recvCounts[src] != me+1 {
+				return fmt.Errorf("rank %d: recv %d rows from %d, want %d",
+					r.ID, recvCounts[src], src, me+1)
+			}
+			for rr := 0; rr < recvCounts[src]; rr++ {
+				want := float32(100*src + me)
+				if out.At(pos, 0) != want {
+					return fmt.Errorf("rank %d row %d = %f, want %f",
+						r.ID, pos, out.At(pos, 0), want)
+				}
+				pos++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAllRowsSymbolic(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		out, counts := AlltoAllRows(r, g, "a2a", nil, []int{1, 2, 3, 4}, 2)
+		if out != nil {
+			return fmt.Errorf("symbolic exchange must not build tensors")
+		}
+		me := g.IndexOf(r.ID)
+		for src, got := range counts {
+			if got != me+1 {
+				return fmt.Errorf("count from %d = %d, want %d", src, got, me+1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAllRowsValidation(t *testing.T) {
+	c := testCluster(2)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		defer func() { recover() }()
+		AlltoAllRows(r, g, "a2a", tensor.New(2, 2), []int{1}, 2) // wrong arity
+		return fmt.Errorf("expected panic")
+	})
+	if err != nil {
+		t.Fatal("arity mismatch must panic before any collective")
+	}
+}
+
+func TestAllReduceTensor(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		x := tensor.FromSlice([]float32{float32(r.ID), 1}, 2)
+		AllReduceTensor(r, g, "ar", x, 2)
+		if x.Data[0] != 6 || x.Data[1] != 4 {
+			return fmt.Errorf("allreduce got %v", x.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherRows(t *testing.T) {
+	const h = 2
+	c := testCluster(3)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		mine := tensor.New(r.ID+1, h) // rank i contributes i+1 rows
+		mine.Fill(float32(r.ID))
+		full := AllGatherRows(r, g, "ag", mine, 0)
+		if full.Rows() != 1+2+3 {
+			return fmt.Errorf("gathered %d rows", full.Rows())
+		}
+		// Rows appear in member order: 1 row of 0s, 2 of 1s, 3 of 2s.
+		wantVals := []float32{0, 1, 1, 2, 2, 2}
+		for i, wv := range wantVals {
+			if full.At(i, 0) != wv {
+				return fmt.Errorf("row %d = %f, want %f", i, full.At(i, 0), wv)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastTensor(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		mine := tensor.New(2, 2)
+		mine.Fill(float32(r.ID))
+		got := BroadcastTensor(r, g, "bc", 1, mine, 2)
+		if got.At(0, 0) != 1 || got.Rows() != 2 {
+			return fmt.Errorf("broadcast got %v", got.Data)
+		}
+		// The result must be a copy, not an alias of the root's buffer.
+		got.Data[0] = 99
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalAllReduceMatchesFlat(t *testing.T) {
+	const world = 16 // 2 Frontier nodes
+	c := testCluster(world)
+	g := c.WorldGroup()
+	nodeGroups, leaders := NodePartition(c, g)
+	err := c.Run(func(r *simrt.Rank) error {
+		x := tensor.FromSlice([]float32{float32(r.ID), 2}, 2)
+		node := c.Machine.NodeOf(r.ID)
+		var lg *simrt.Group
+		if leaders.Contains(r.ID) {
+			lg = leaders
+		}
+		HierarchicalAllReduce(r, nodeGroups[node], lg, x, 2)
+		// Sum of 0..15 = 120; second element 2*16 = 32.
+		if x.Data[0] != 120 || x.Data[1] != 32 {
+			return fmt.Errorf("rank %d: hierarchical sum %v", r.ID, x.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodePartitionStructure(t *testing.T) {
+	c := testCluster(24) // 3 nodes
+	g := c.WorldGroup()
+	nodeGroups, leaders := NodePartition(c, g)
+	if len(nodeGroups) != 3 || leaders.Size() != 3 {
+		t.Fatalf("partition: %d node groups, %d leaders", len(nodeGroups), leaders.Size())
+	}
+	for node, ng := range nodeGroups {
+		if ng.Size() != 8 {
+			t.Fatalf("node %d group size %d", node, ng.Size())
+		}
+		for _, rank := range ng.Ranks() {
+			if c.Machine.NodeOf(rank) != node {
+				t.Fatal("rank assigned to wrong node group")
+			}
+		}
+	}
+}
+
+func TestHierarchicalCheaperThanFlatOverNodes(t *testing.T) {
+	// The modeled cost of the hierarchical schedule must not exceed a
+	// flat all-reduce across nodes for large payloads (this is why
+	// NCCL/RCCL use tree/hierarchical algorithms on fat-node machines).
+	const world = 32
+	flat := testCluster(world)
+	hier := testCluster(world)
+	payload := make([]float32, 1<<20)
+
+	gFlat := flat.WorldGroup()
+	flatRanks, err := flat.RunCollect(func(r *simrt.Rank) error {
+		x := tensor.FromSlice(payload, len(payload))
+		AllReduceTensor(r, gFlat, "ar", x, 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHier := hier.WorldGroup()
+	nodeGroups, leaders := NodePartition(hier, gHier)
+	hierRanks, err := hier.RunCollect(func(r *simrt.Rank) error {
+		x := tensor.FromSlice(payload, len(payload))
+		var lg *simrt.Group
+		if leaders.Contains(r.ID) {
+			lg = leaders
+		}
+		HierarchicalAllReduce(r, nodeGroups[hier.Machine.NodeOf(r.ID)], lg, x, 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatT := simrt.MaxClock(flatRanks)
+	hierT := simrt.MaxClock(hierRanks)
+	if hierT > 3*flatT {
+		t.Fatalf("hierarchical allreduce (%.4fs) wildly slower than flat (%.4fs)", hierT, flatT)
+	}
+}

@@ -1,0 +1,249 @@
+// Package kernels implements the cross-platform sparse and irregular
+// kernels of X-MoE's padding-free pipeline (paper §4.1.2): the gather
+// kernel that builds the dispatch buffer from ERI-array indices, the
+// scatter kernel that reassembles and weight-scales expert outputs in the
+// combine stage, and the sequential GEMM that processes uneven per-expert
+// token segments without zero-padding.
+//
+// The paper implements these in Triton, scheduling one thread-block per
+// token row with contiguous threads across the hidden dimension for
+// coalesced access. Here each "thread block" is a row processed inside a
+// goroutine-pool chunk (tensor.ParallelFor), preserving the same
+// row-parallel structure and contiguous row access pattern.
+package kernels
+
+import (
+	"fmt"
+
+	"xmoe/internal/tensor"
+)
+
+// Gather builds the dispatch buffer from the gate output:
+//
+//	dispatchIn[i, :] = gateOut[tokenIDs[i], :]
+//
+// gateOut is [S, H]; the result is [B, H] with B = len(tokenIDs).
+func Gather(gateOut *tensor.Tensor, tokenIDs []int) *tensor.Tensor {
+	h := gateOut.Cols()
+	b := len(tokenIDs)
+	out := tensor.New(b, h)
+	tensor.ParallelFor(b, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(i), gateOut.Row(tokenIDs[i]))
+		}
+	})
+	return out
+}
+
+// GatherBackward scatters row gradients back through Gather: it returns
+// dGateOut [S, H] with dGateOut[tokenIDs[i], :] += dDispatchIn[i, :].
+// Multiple dispatch rows may map to one token (top-k routing), so this is
+// an accumulating scatter grouped by destination row to stay race-free
+// under parallel execution.
+func GatherBackward(dDispatchIn *tensor.Tensor, tokenIDs []int, numTokens int) *tensor.Tensor {
+	h := dDispatchIn.Cols()
+	out := tensor.New(numTokens, h)
+	byToken := groupByDestination(tokenIDs, numTokens)
+	tensor.ParallelFor(numTokens, 8, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dst := out.Row(t)
+			for _, i := range byToken[t] {
+				src := dDispatchIn.Row(i)
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ScatterCombine reassembles the MoE layer output from expert results:
+//
+//	combineOut[tokenIDs[i], :] += mlpOut[i, :] * weights[i]
+//
+// mlpOut is [B, H]; the result is [numTokens, H]. The accumulation over
+// the k expert outputs of each token is the combine-stage weighted sum.
+// Rows are grouped by destination token so parallel workers never write
+// the same output row.
+func ScatterCombine(mlpOut *tensor.Tensor, tokenIDs []int, weights []float32, numTokens int) *tensor.Tensor {
+	if len(tokenIDs) != mlpOut.Rows() || len(weights) != mlpOut.Rows() {
+		panic(fmt.Sprintf("kernels: scatter arity mismatch: %d rows, %d ids, %d weights",
+			mlpOut.Rows(), len(tokenIDs), len(weights)))
+	}
+	h := mlpOut.Cols()
+	out := tensor.New(numTokens, h)
+	byToken := groupByDestination(tokenIDs, numTokens)
+	tensor.ParallelFor(numTokens, 8, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dst := out.Row(t)
+			for _, i := range byToken[t] {
+				w := weights[i]
+				src := mlpOut.Row(i)
+				for j, v := range src {
+					dst[j] += w * v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ScatterCombineBackward computes the gradients of ScatterCombine with
+// respect to mlpOut and weights:
+//
+//	dMlpOut[i, :]  = dCombineOut[tokenIDs[i], :] * weights[i]
+//	dWeights[i]    = <dCombineOut[tokenIDs[i], :], mlpOut[i, :]>
+func ScatterCombineBackward(dCombineOut, mlpOut *tensor.Tensor, tokenIDs []int, weights []float32) (dMlpOut *tensor.Tensor, dWeights []float32) {
+	b, h := mlpOut.Rows(), mlpOut.Cols()
+	dMlpOut = tensor.New(b, h)
+	dWeights = make([]float32, b)
+	tensor.ParallelFor(b, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g := dCombineOut.Row(tokenIDs[i])
+			x := mlpOut.Row(i)
+			w := weights[i]
+			dRow := dMlpOut.Row(i)
+			var dot float32
+			for j := range g {
+				dRow[j] = g[j] * w
+				dot += g[j] * x[j]
+			}
+			dWeights[i] = dot
+		}
+	})
+	return dMlpOut, dWeights
+}
+
+// groupByDestination builds, for each destination row in [0, n), the list
+// of source indices mapping to it (a counting-sort style inverse of ids).
+func groupByDestination(ids []int, n int) [][]int {
+	counts := make([]int, n)
+	for _, t := range ids {
+		if t < 0 || t >= n {
+			panic(fmt.Sprintf("kernels: destination index %d outside [0,%d)", t, n))
+		}
+		counts[t]++
+	}
+	out := make([][]int, n)
+	for t, c := range counts {
+		if c > 0 {
+			out[t] = make([]int, 0, c)
+		}
+	}
+	for i, t := range ids {
+		out[t] = append(out[t], i)
+	}
+	return out
+}
+
+// SequentialGEMM multiplies uneven per-expert row segments of x by each
+// expert's weight matrix: segment e (rows[e] consecutive rows of x) is
+// multiplied by weights[e]. This is the padding-free expert computation:
+// one GEMM launch per local expert over exactly the tokens routed to it
+// (paper §4.1.2: "launching E_local GeMMs").
+//
+// x is [B, K] with B = sum(rows); weights[e] is [K, N]. Returns [B, N].
+func SequentialGEMM(x *tensor.Tensor, rows []int, weights []*tensor.Tensor) *tensor.Tensor {
+	if len(rows) != len(weights) {
+		panic(fmt.Sprintf("kernels: %d segments but %d weight matrices", len(rows), len(weights)))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	if total != x.Rows() {
+		panic(fmt.Sprintf("kernels: segments cover %d rows, x has %d", total, x.Rows()))
+	}
+	k := x.Cols()
+	n := 0
+	if len(weights) > 0 {
+		n = weights[0].Cols()
+	}
+	out := tensor.New(total, n)
+	off := 0
+	for e, r := range rows {
+		if r == 0 {
+			continue
+		}
+		w := weights[e]
+		if w.Rows() != k || w.Cols() != n {
+			panic(fmt.Sprintf("kernels: expert %d weight shape %v, want [%d,%d]", e, w.Shape(), k, n))
+		}
+		seg := tensor.FromSlice(x.Data[off*k:(off+r)*k], r, k)
+		dst := tensor.FromSlice(out.Data[off*n:(off+r)*n], r, n)
+		tensor.MatMulInto(dst, seg, w)
+		off += r
+	}
+	return out
+}
+
+// SequentialGEMMBackward computes the input and weight gradients of
+// SequentialGEMM: for each segment e, dX_e = dY_e·W_eᵀ and
+// dW_e = X_eᵀ·dY_e. It returns dX [B, K] and one dW per expert.
+func SequentialGEMMBackward(dy, x *tensor.Tensor, rows []int, weights []*tensor.Tensor) (dx *tensor.Tensor, dws []*tensor.Tensor) {
+	k := x.Cols()
+	n := dy.Cols()
+	dx = tensor.New(x.Rows(), k)
+	dws = make([]*tensor.Tensor, len(weights))
+	off := 0
+	for e, r := range rows {
+		w := weights[e]
+		if r == 0 {
+			dws[e] = tensor.New(w.Rows(), w.Cols())
+			continue
+		}
+		segX := tensor.FromSlice(x.Data[off*k:(off+r)*k], r, k)
+		segDY := tensor.FromSlice(dy.Data[off*n:(off+r)*n], r, n)
+		segDX := tensor.MatMulT(segDY, w) // dY [r,n] · (W [k,n])ᵀ = [r,k]
+		copy(dx.Data[off*k:(off+r)*k], segDX.Data)
+		dws[e] = tensor.TMatMul(segX, segDY)
+		off += r
+	}
+	return dx, dws
+}
+
+// PaddedDispatch builds the conventional zero-padded expert buffer used by
+// GShard-style frameworks: a [E, C, H] tensor where slot (e, c) holds the
+// token assigned to position c of expert e's buffer, and unused slots stay
+// zero (paper Fig. 2). slotToken[e][c] gives the source token index or -1.
+func PaddedDispatch(x *tensor.Tensor, slotToken [][]int, capacity int) *tensor.Tensor {
+	h := x.Cols()
+	e := len(slotToken)
+	out := tensor.New(e, capacity, h)
+	tensor.ParallelFor(e, 1, func(lo, hi int) {
+		for exp := lo; exp < hi; exp++ {
+			for c, tok := range slotToken[exp] {
+				if tok < 0 {
+					continue
+				}
+				copy(out.Data[(exp*capacity+c)*h:(exp*capacity+c+1)*h], x.Row(tok))
+			}
+		}
+	})
+	return out
+}
+
+// PaddedCombine reverses PaddedDispatch with combine-weight scaling:
+// output[tok, :] += buffer[e, c, :] * weight for each occupied slot.
+func PaddedCombine(buffer *tensor.Tensor, slotToken [][]int, slotWeight [][]float32, capacity, numTokens int) *tensor.Tensor {
+	h := buffer.Cols()
+	if buffer.Rank() == 3 {
+		h = buffer.Dim(2)
+	}
+	out := tensor.New(numTokens, h)
+	for e := range slotToken {
+		for c, tok := range slotToken[e] {
+			if tok < 0 {
+				continue
+			}
+			w := slotWeight[e][c]
+			src := buffer.Data[(e*capacity+c)*h : (e*capacity+c+1)*h]
+			dst := out.Row(tok)
+			for j, v := range src {
+				dst[j] += w * v
+			}
+		}
+	}
+	return out
+}

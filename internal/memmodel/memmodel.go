@@ -1,0 +1,250 @@
+// Package memmodel is the analytic memory model of the reproduction: it
+// computes per-GPU model-state and activation memory for any combination
+// of model shape (internal/model), hybrid-parallel plan
+// (internal/parallel), and pipeline style (padded vs PFT), following the
+// paper's accounting in §3.2 (Tables 1-2), §4.3, Table 4, and Appendix
+// C.2 (the SSMB-vs-TED tradeoff, Eqs. 1-2).
+//
+// Every memory-related figure of the paper — the Fig. 3 bottleneck shift,
+// Table 4 per-layer activations, Fig. 13 SSMB savings, Fig. 17 advantage
+// regions, and the OOM verdicts in Figs. 9 and 20 — is derived from these
+// formulas, which in turn are validated against the simulated pipelines'
+// live MemTracker accounting in the integration tests.
+package memmodel
+
+import (
+	"xmoe/internal/model"
+	"xmoe/internal/parallel"
+)
+
+// Pipeline selects the dispatch data layout.
+type Pipeline int
+
+const (
+	// PipelinePadded is the conventional fixed-capacity zero-padded
+	// layout (GShard / DeepSpeed-MoE / DeepSpeed-TED / Tutel).
+	PipelinePadded Pipeline = iota
+	// PipelinePFT is X-MoE's padding-free token buffer layout.
+	PipelinePFT
+)
+
+// Setup combines the knobs that determine memory consumption.
+type Setup struct {
+	// Plan is the hybrid parallel layout.
+	Plan parallel.Plan
+	// MicroBatch is the number of sequences each GPU processes per
+	// micro-step.
+	MicroBatch int
+	// Pipeline selects padded vs padding-free buffers.
+	Pipeline Pipeline
+	// CapacityFactor is the expert capacity factor c (1.25 in §5.1).
+	CapacityFactor float64
+	// ElemBytes is the activation element size (2 = bf16).
+	ElemBytes int
+	// CombineBytes is the element size of combine-side buffers (4 models
+	// Tutel's forced fp32 A_combine on AMD; 0 = ElemBytes).
+	CombineBytes int
+	// MaskBytes is the element size of the combine-weights mask (fp32 in
+	// the conventional pipeline).
+	MaskBytes int
+	// NoDenseMask models Tutel's sparse dispatcher: padded buffers
+	// without the dense [S, E, C] mask tensors.
+	NoDenseMask bool
+	// ActCkpt enables activation checkpointing: only layer inputs are
+	// retained; everything else is recomputed in backward.
+	ActCkpt bool
+}
+
+func (s Setup) combineBytes() int {
+	if s.CombineBytes > 0 {
+		return s.CombineBytes
+	}
+	return s.ElemBytes
+}
+
+func (s Setup) maskBytes() int {
+	if s.MaskBytes > 0 {
+		return s.MaskBytes
+	}
+	return 4
+}
+
+const (
+	paramBytes = 2  // bf16 parameters
+	gradBytes  = 2  // bf16 gradients
+	optBytes   = 12 // fp32 master copy + Adam m/v per parameter
+)
+
+// ModelStates returns the per-GPU bytes of parameters, gradients and
+// optimizer states under the plan's TP/EP sharding and ZeRO stage. Expert
+// parameters shard over EP and their optimizer (and ZeRO-2 gradients)
+// over the expert-DP group; dense parameters shard over TP and their
+// optimizer over the dense DP group.
+func ModelStates(sh model.Shape, st Setup) int64 {
+	plan := st.Plan
+	expertParams := int64(sh.Layers) * sh.ExpertParamsPerLayer() / int64(plan.EP)
+	denseParams := int64(sh.Layers)*(sh.AttentionParamsPerLayer()/int64(plan.TP)+sh.RouterParamsPerLayer()) +
+		sh.EmbeddingParams()/int64(plan.TP)
+
+	expertDP := int64(plan.ExpertDP())
+	denseDP := int64(plan.DP())
+	if expertDP < 1 {
+		expertDP = 1
+	}
+	if denseDP < 1 {
+		denseDP = 1
+	}
+
+	bytes := expertParams*paramBytes + denseParams*paramBytes
+	switch plan.ZeROStage {
+	case 2:
+		bytes += expertParams*gradBytes/expertDP + denseParams*gradBytes/denseDP
+		bytes += expertParams*optBytes/expertDP + denseParams*optBytes/denseDP
+	case 1:
+		bytes += expertParams*gradBytes + denseParams*gradBytes
+		bytes += expertParams*optBytes/expertDP + denseParams*optBytes/denseDP
+	default: // no ZeRO: everything replicated within DP
+		bytes += expertParams*(gradBytes+optBytes) + denseParams*(gradBytes+optBytes)
+	}
+	return bytes
+}
+
+// MoEBreakdown itemises one MoE layer's activation memory per GPU,
+// mirroring §3.2's taxonomy.
+type MoEBreakdown struct {
+	// Mask is the dispatch-mask plus intermediate gating tensors
+	// (padded pipeline only).
+	Mask int64
+	// ADispatch is the dispatched expert input buffer.
+	ADispatch int64
+	// ACombine is the expert output buffer before combining.
+	ACombine int64
+	// AInterm0 and AInterm1 are the expert FFN intermediate activations.
+	AInterm0, AInterm1 int64
+	// ERI is the PFT metadata (PFT pipeline only).
+	ERI int64
+}
+
+// Total returns the summed activation bytes of the layer.
+func (b MoEBreakdown) Total() int64 {
+	return b.Mask + b.ADispatch + b.ACombine + b.AInterm0 + b.AInterm1 + b.ERI
+}
+
+// MoELayer computes the per-GPU activation breakdown of one MoE layer
+// processing sTokens tokens per GPU (after any SSMB sharding; pass the
+// dense-block token count divided by TP when the plan shards sequences).
+func MoELayer(sh model.Shape, st Setup, sTokens int) MoEBreakdown {
+	e, k := sh.NumExperts, sh.TopK
+	h, f := int64(sh.HModel), int64(sh.HFFN)
+	elem := int64(st.ElemBytes)
+	comb := int64(st.combineBytes())
+	capacity := int64(float64(sTokens)*float64(k)/float64(e)*st.CapacityFactor + 0.999999)
+	if capacity < 1 {
+		capacity = 1
+	}
+
+	var b MoEBreakdown
+	switch st.Pipeline {
+	case PipelinePadded:
+		// DeepSpeed-style gating materialises an fp32 combine-weights
+		// tensor [S, E, C] plus an elem-typed dispatch mask of the same
+		// shape (the einsum operand), plus [S*K, E] one-hot/cumsum
+		// intermediates — the ">70% of activation memory" of §3.1. The
+		// padded buffers hold E*C rows per GPU after the even
+		// all-to-all regardless of occupancy. Tutel's sparse dispatcher
+		// (NoDenseMask) skips the dense mask but keeps index arrays.
+		if st.NoDenseMask {
+			b.Mask = int64(sTokens*k) * 16
+		} else {
+			b.Mask = int64(sTokens)*int64(e)*capacity*int64(st.maskBytes()+st.ElemBytes) +
+				int64(sTokens*k*e)*4
+		}
+		rows := int64(e) * capacity
+		b.ADispatch = rows * h * elem
+		b.ACombine = rows * h * comb
+		b.AInterm0 = rows * f * elem
+		b.AInterm1 = rows * f * elem
+	case PipelinePFT:
+		rows := int64(sTokens) * int64(k)
+		if max := int64(e) * capacity; rows > max {
+			rows = max
+		}
+		b.ADispatch = rows * h * elem
+		b.ACombine = rows * h * comb
+		b.AInterm0 = rows * f * elem
+		b.AInterm1 = rows * f * elem
+		b.ERI = rows*12 + int64(e)*4
+	}
+	return b
+}
+
+// DenseLayerActivations returns the per-GPU activation bytes of one dense
+// (attention) block processing sTokens tokens: TP shards the in-block
+// activations while block inputs/outputs stay duplicated.
+func DenseLayerActivations(sh model.Shape, st Setup, sTokens int) int64 {
+	h := int64(sh.HModel)
+	elem := int64(st.ElemBytes)
+	// The block boundary tensor is counted once (the output is the next
+	// block's input); in-block activations shard over TP.
+	duplicated := int64(sTokens) * h * elem
+	sharded := 8 * int64(sTokens) * h * elem / int64(st.Plan.TP) // qkv, scores-proxy, proj, norms
+	return duplicated + sharded
+}
+
+// Activations returns the total per-GPU activation bytes for one
+// micro-step across all layers, honouring SSMB sequence sharding and
+// activation checkpointing.
+func Activations(sh model.Shape, st Setup) int64 {
+	sTokens := st.MicroBatch * sh.SeqLen
+	sMoE := sTokens
+	if st.Plan.SSMB && st.Plan.TP > 1 {
+		sMoE = (sTokens + st.Plan.TP - 1) / st.Plan.TP
+	}
+	moe := MoELayer(sh, st, sMoE).Total()
+	dense := DenseLayerActivations(sh, st, sTokens)
+	perLayer := moe + dense
+	elem := int64(st.ElemBytes)
+	layerInput := int64(sTokens) * int64(sh.HModel) * elem
+
+	if st.ActCkpt {
+		// Keep one checkpoint per layer plus one layer's live
+		// activations during recomputation.
+		return int64(sh.Layers)*layerInput + perLayer + 2*layerInput
+	}
+	embed := 2 * layerInput // embedding output + logits-side activations
+	return int64(sh.Layers)*perLayer + embed
+}
+
+// SSMBSaving returns Eq. 1: the per-device activation bytes SSMB saves at
+// TP degree g (half precision, dispatch+combine both scale with c*k*S*H).
+func SSMBSaving(c float64, k, sTokens, h, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	return 4 * c * float64(k) * float64(sTokens) * float64(h) * float64(g-1) / float64(g)
+}
+
+// TEDMinCost returns Eq. 2: the minimum extra model-state bytes of
+// choosing SSMB over TED at TP degree g (the expert parameters TED would
+// have sharded).
+func TEDMinCost(hFFN, h, g int) float64 {
+	if g <= 1 {
+		return 0
+	}
+	return 8 * float64(hFFN) * float64(h) * float64(g-1) / float64(g)
+}
+
+// SSMBAdvantage reports whether SSMB saves more memory than TED for the
+// given architecture and sequence length: r = k/H_FFN > 2/(c*S)
+// (§4.3's tradeoff condition).
+func SSMBAdvantage(k, hFFN int, c float64, sTokens int) bool {
+	r := float64(k) / float64(hFFN)
+	return r > 2/(c*float64(sTokens))
+}
+
+// AdvantageBorderTopK returns, for Fig. 17's advantage-region plot, the
+// top-k value at which SSMB and TED break even for a given intermediate
+// dimension and sequence length: k* = 2*H_FFN/(c*S).
+func AdvantageBorderTopK(hFFN int, c float64, sTokens int) float64 {
+	return 2 * float64(hFFN) / (c * float64(sTokens))
+}

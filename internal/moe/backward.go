@@ -1,0 +1,144 @@
+package moe
+
+import (
+	"xmoe/internal/kernels"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// Backward trace stage names; mirrored against the forward stages.
+const (
+	StageBwdCombine    = "bwd_combine"
+	StageBwdCombineA2A = "bwd_a2a_combine"
+	StageBwdExperts    = "bwd_experts"
+	StageBwdDispA2A    = "bwd_a2a_dispatch"
+	StageBwdDispatch   = "bwd_dispatch"
+)
+
+// BackwardResult carries the gradients of one distributed MoE layer.
+type BackwardResult struct {
+	// DX is the [S, H] gradient with respect to the layer input (the
+	// data-path component through the experts; the router's gating
+	// gradient flows through DCombineWeights).
+	DX *tensor.Tensor
+	// DW1 and DW2 are the per-local-expert weight gradients.
+	DW1, DW2 []*tensor.Tensor
+	// DCombineWeights[i] is the loss gradient of PFT entry i's combine
+	// weight; the caller feeds it into the router's softmax backward
+	// (per-token weights are routing metadata, so they stay local).
+	DCombineWeights []float32
+}
+
+// PFTBackward runs the distributed backward pass of the padding-free MoE
+// layer (paper §4.3: "expert-specific gradient computation and alltoall
+// communications, mirroring the forward process"). Given the forward
+// state and the output gradient dOut [S, H], it reverses every forward
+// stage: scatter-combine backward, the combine all-to-all in reverse
+// (gradients travel source→experts, the same direction as dispatch),
+// sequential-GEMM and activation backward per expert segment, the
+// dispatch all-to-all in reverse (experts→source), and the gather
+// backward into dX. The wire volumes match the forward pass exactly —
+// the property the paper's four-alltoalls-per-layer accounting relies on.
+func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
+	dOut *tensor.Tensor, params *ExpertParams) BackwardResult {
+
+	epr := epCheck(cfg, g)
+	p := g.Size()
+	h, f := cfg.HModel, cfg.HFFN
+	elem := int64(cfg.BytesPerElem)
+	comp := r.C.Comp
+	pft := st.PFT
+	b := pft.B()
+
+	// --- Scatter-combine backward ----------------------------------------
+	// The forward pass saved combineIn (the returned expert outputs in
+	// PFT order); the scatter's backward yields the per-row gradients
+	// and the combine-weight gradients in one pass.
+	r.Compute(StageBwdCombine, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*elem))
+	dCombineIn, dWeights := kernels.ScatterCombineBackward(dOut, st.CombineIn, pft.TokenIDs, pft.CombineWeights)
+
+	// --- Reverse combine all-to-all ---------------------------------------
+	// Forward combine moved rows experts→source; its gradient moves
+	// source→experts with identical segmentation (the dispatch layout).
+	segStart := pft.ExpertSegments()
+	send := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		lo := segStart[dst*epr]
+		hi := b
+		if dst < p-1 {
+			hi = segStart[(dst+1)*epr]
+		}
+		part := simrt.Part{Bytes: int64(hi-lo) * int64(h) * elem}
+		if hi > lo {
+			part.Data = dCombineIn.Data[lo*h : hi*h]
+		}
+		send[dst] = part
+	}
+	recv := r.AlltoAllV(g, StageBwdCombineA2A, send)
+
+	// Received: src-major, per-src rows ordered by local expert — the
+	// same layout as the forward dispatch receive; reorder expert-major.
+	bExp := st.ExpertIn.Rows()
+	dExpertOut := tensor.New(bExp, h)
+	for src := 0; src < p; src++ {
+		data := recv[src].Data
+		pos := 0
+		for le := 0; le < epr; le++ {
+			c := st.RecvCounts[src][le]
+			if c == 0 {
+				continue
+			}
+			copy(dExpertOut.Data[st.BlockOff[le][src]*h:(st.BlockOff[le][src]+c)*h],
+				data[pos*h:(pos+c)*h])
+			pos += c
+		}
+	}
+
+	// --- Expert FFN backward ----------------------------------------------
+	bwdTime := comp.SequentialGEMM(st.RowsPerLE, h, f)*2 +
+		comp.SequentialGEMM(st.RowsPerLE, f, h)*2 +
+		comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(f)*elem)
+	r.Compute(StageBwdExperts, bwdTime)
+	dHidAct, dW2 := kernels.SequentialGEMMBackward(dExpertOut, st.HidAct, st.RowsPerLE, params.W2)
+	dHidPre := tensor.GeLUBackward(dHidAct, st.HidPre)
+	dExpertIn, dW1 := kernels.SequentialGEMMBackward(dHidPre, st.ExpertIn, st.RowsPerLE, params.W1)
+
+	// --- Reverse dispatch all-to-all ---------------------------------------
+	// Reorder expert-major gradients back to src-major and return them to
+	// their source ranks.
+	sendBack := make([]simrt.Part, p)
+	for src := 0; src < p; src++ {
+		rows := 0
+		for _, c := range st.RecvCounts[src] {
+			rows += c
+		}
+		buf := make([]float32, rows*h)
+		pos := 0
+		for le := 0; le < epr; le++ {
+			c := st.RecvCounts[src][le]
+			if c == 0 {
+				continue
+			}
+			copy(buf[pos*h:(pos+c)*h],
+				dExpertIn.Data[st.BlockOff[le][src]*h:(st.BlockOff[le][src]+c)*h])
+			pos += c
+		}
+		sendBack[src] = simrt.Part{Data: buf, Bytes: int64(rows) * int64(h) * elem}
+	}
+	back := r.AlltoAllV(g, StageBwdDispA2A, sendBack)
+
+	dDispIn := tensor.New(b, h)
+	pos := 0
+	for dst := 0; dst < p; dst++ {
+		d := back[dst].Data
+		copy(dDispIn.Data[pos:pos+len(d)], d)
+		pos += len(d)
+	}
+
+	// --- Gather backward ----------------------------------------------------
+	r.Compute(StageBwdDispatch, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*elem))
+	dx := kernels.GatherBackward(dDispIn, pft.TokenIDs, st.S)
+
+	return BackwardResult{DX: dx, DW1: dW1, DW2: dW2, DCombineWeights: dWeights}
+}

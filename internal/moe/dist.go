@@ -1,0 +1,495 @@
+package moe
+
+import (
+	"fmt"
+
+	"xmoe/internal/kernels"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// Trace stage names shared by both pipelines; the Fig. 11 layer-breakdown
+// experiment aggregates these.
+const (
+	StageGate        = "gate"
+	StageDispatch    = "dispatch" // buffer dispatch: gather kernel or mask einsum
+	StageDispatchA2A = "a2a_dispatch"
+	StageExperts     = "experts"
+	StageCombineA2A  = "a2a_combine"
+	StageCombine     = "combine" // buffer combine: scatter kernel or mask einsum
+	StageOthers      = "others"  // reorders, metadata exchange
+)
+
+// KernelProfile selects the implementation quality of the non-GEMM stages,
+// distinguishing the frameworks the paper compares.
+type KernelProfile int
+
+const (
+	// KernelsTriton is X-MoE's portable kernel suite (§4.1.2).
+	KernelsTriton KernelProfile = iota
+	// KernelsFallback is the PyTorch-level dense mask pipeline used by
+	// DeepSpeed-MoE / DeepSpeed-TED / GShard-style frameworks.
+	KernelsFallback
+	// KernelsVendor is Tutel's tuned (but CUDA-centric) kernel path,
+	// which runs on ROCm via slower ports.
+	KernelsVendor
+)
+
+// PipelineOpts configures one MoE layer execution.
+type PipelineOpts struct {
+	// Numeric executes real float math; otherwise the pipeline is
+	// metadata-only (symbolic) and charges time/memory without payloads.
+	Numeric bool
+	// DropPolicy selects the token-dropping semantics.
+	DropPolicy DropPolicy
+	// Kernels selects the gating/dispatch/combine kernel quality.
+	Kernels KernelProfile
+	// CombineBytes overrides the element size of the combine-side
+	// buffers (Tutel forces float32 A_combine on AMD GPUs, Table 4);
+	// zero means Config.BytesPerElem.
+	CombineBytes int
+	// RetainActivations keeps all activation buffers allocated after the
+	// forward pass (training semantics) so peak-memory measurements see
+	// them; otherwise transient buffers are freed as the pipeline
+	// proceeds.
+	RetainActivations bool
+	// SaveForBackward captures the numeric intermediate state needed by
+	// PFTBackward (implies Numeric and RetainActivations semantics for
+	// the captured tensors).
+	SaveForBackward bool
+}
+
+func (o PipelineOpts) combineBytes(cfg Config) int {
+	if o.CombineBytes > 0 {
+		return o.CombineBytes
+	}
+	return cfg.BytesPerElem
+}
+
+// ExpertParams holds the weights of this rank's local experts: W1[e] is
+// [H, HFFN] and W2[e] is [HFFN, H]. Nil in symbolic mode.
+type ExpertParams struct {
+	W1, W2 []*tensor.Tensor
+}
+
+// NewExpertParams initialises numLocal experts' weights deterministically.
+func NewExpertParams(rng *tensor.RNG, numLocal, h, f int) *ExpertParams {
+	p := &ExpertParams{W1: make([]*tensor.Tensor, numLocal), W2: make([]*tensor.Tensor, numLocal)}
+	std1 := float32(0.02)
+	for e := 0; e < numLocal; e++ {
+		p.W1[e] = tensor.Randn(rng, std1, h, f)
+		p.W2[e] = tensor.Randn(rng, std1, f, h)
+	}
+	return p
+}
+
+// LayerResult is the outcome of one distributed MoE layer forward pass.
+type LayerResult struct {
+	// Output is the [S, H] layer output (nil in symbolic mode).
+	Output *tensor.Tensor
+	// PFT is the routing buffer used (PFT pipeline only).
+	PFT *PFT
+	// RoutedTokens is the number of retained (token, expert) rows sent.
+	RoutedTokens int
+	// RecvTokens is the number of rows this rank's experts processed.
+	RecvTokens int
+	// Dropped is the number of assignments removed by the drop policy.
+	Dropped int
+	// State carries the saved intermediates for PFTBackward (only when
+	// opts.SaveForBackward).
+	State *PFTFwdState
+}
+
+// PFTFwdState is the per-rank forward state the distributed backward pass
+// consumes: the PFT, the exchange segmentation, and the expert-FFN
+// intermediates.
+type PFTFwdState struct {
+	S          int
+	PFT        *PFT
+	RecvCounts [][]int // [src][localExpert]
+	BlockOff   [][]int // [localExpert][src] expert-major row offsets
+	RowsPerLE  []int
+	ExpertIn   *tensor.Tensor // [BExp, H] expert-major
+	HidPre     *tensor.Tensor // [BExp, F] pre-activation
+	HidAct     *tensor.Tensor // [BExp, F] post-GeLU
+	CombineIn  *tensor.Tensor // [B, H] returned expert outputs, PFT order
+}
+
+// epCheck validates the expert-parallel layout and returns experts/rank.
+func epCheck(cfg Config, g *simrt.Group) int {
+	if cfg.NumExperts%g.Size() != 0 {
+		panic(fmt.Sprintf("moe: %d experts not divisible by EP size %d", cfg.NumExperts, g.Size()))
+	}
+	return cfg.NumExperts / g.Size()
+}
+
+// PFTForward executes X-MoE's padding-free MoE layer (paper Listing 1) on
+// rank r within EP group g: gating, PFT construction, gather-kernel
+// dispatch, uneven all-to-all, expert-major reorder, sequential GEMM
+// experts, reverse all-to-all, and the weight-scaling scatter combine. s
+// is the local token count; x is the [s, H] input (nil in symbolic mode);
+// routing is the gate decision for the local tokens.
+func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult {
+	epr := epCheck(cfg, g)
+	p := g.Size()
+	h, f := cfg.HModel, cfg.HFFN
+	elem := int64(cfg.BytesPerElem)
+	combElem := int64(opts.combineBytes(cfg))
+	mem := &r.Dev().Mem
+	comp := r.C.Comp
+
+	// --- Gate + PFT construction ---------------------------------------
+	// Router GEMM [s,H]x[H,E], softmax/top-k, then the sort-based PFT
+	// construction (Triton-class passes over the flattened assignments).
+	gateTime := comp.GEMM(s, h, cfg.NumExperts) +
+		comp.MemBoundN(perfmodel.ClassTriton, 6,
+			int64(s*cfg.NumExperts)*elem+int64(s*cfg.TopK)*24)
+	r.Compute(StageGate, gateTime)
+	pft := BuildPFT(routing, cfg.NumExperts, cfg.Capacity(s), opts.DropPolicy)
+	b := pft.B()
+	mem.Alloc("eri", pft.ERIBytes())
+
+	// --- Buffer dispatch (gather kernel) --------------------------------
+	r.Compute(StageDispatch, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*elem))
+	var dispIn *tensor.Tensor
+	if opts.Numeric {
+		dispIn = kernels.Gather(x, pft.TokenIDs)
+	}
+	mem.Alloc("dispatch_in", int64(b)*int64(h)*elem)
+
+	// --- Uneven all-to-all (dispatch) ------------------------------------
+	// Exchange per-destination token counts, then the token payload.
+	segStart := pft.ExpertSegments()
+	send := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		lo := segStart[dst*epr]
+		hi := b
+		if dst < p-1 {
+			hi = segStart[(dst+1)*epr]
+		}
+		counts := make([]int, epr)
+		for le := 0; le < epr; le++ {
+			counts[le] = pft.TokensPerExpert[dst*epr+le]
+		}
+		part := simrt.Part{Meta: counts, Bytes: int64(hi-lo)*int64(h)*elem + int64(epr)*8}
+		if opts.Numeric && hi > lo {
+			part.Data = dispIn.Data[lo*h : hi*h]
+		}
+		send[dst] = part
+	}
+	recv := r.AlltoAllV(g, StageDispatchA2A, send)
+
+	// Received layout: src-major, each src's rows ordered by local expert.
+	recvCounts := make([][]int, p) // [src][localExpert]
+	bExp := 0
+	for src, part := range recv {
+		recvCounts[src] = part.Meta.([]int)
+		for _, c := range recvCounts[src] {
+			bExp += c
+		}
+	}
+	mem.Alloc("A_dispatch", int64(bExp)*int64(h)*elem)
+
+	// --- Expert-major reorder (sequential GEMM input prep) ---------------
+	// The paper notes this data transformation as the small expert-stage
+	// overhead of the sequential GEMM (§5.4.1).
+	r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(h)*elem))
+	rowsPerLE := make([]int, epr)
+	for _, counts := range recvCounts {
+		for le, c := range counts {
+			rowsPerLE[le] += c
+		}
+	}
+	// blockOff[le][src] = row offset of block (src, le) in expert-major
+	// layout.
+	blockOff := make([][]int, epr)
+	{
+		off := 0
+		for le := 0; le < epr; le++ {
+			blockOff[le] = make([]int, p)
+			for src := 0; src < p; src++ {
+				blockOff[le][src] = off
+				off += recvCounts[src][le]
+			}
+		}
+	}
+	var expertIn *tensor.Tensor
+	if opts.Numeric {
+		expertIn = tensor.New(bExp, h)
+		for src := 0; src < p; src++ {
+			data := recv[src].Data
+			pos := 0
+			for le := 0; le < epr; le++ {
+				c := recvCounts[src][le]
+				if c == 0 {
+					continue
+				}
+				copy(expertIn.Data[blockOff[le][src]*h:(blockOff[le][src]+c)*h],
+					data[pos*h:(pos+c)*h])
+				pos += c
+			}
+		}
+	}
+
+	// --- Sequential GEMM experts ----------------------------------------
+	expertTime := comp.SequentialGEMM(rowsPerLE, h, f) +
+		comp.SequentialGEMM(rowsPerLE, f, h) +
+		comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(f)*elem) // activation
+	r.Compute(StageExperts, expertTime)
+	mem.Alloc("A0_interm", int64(bExp)*int64(f)*elem)
+	mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
+	var expertOut *tensor.Tensor
+	var hidPre, hidAct *tensor.Tensor
+	if opts.Numeric {
+		hidPre = kernels.SequentialGEMM(expertIn, rowsPerLE, params.W1)
+		hidAct = hidPre
+		if opts.SaveForBackward {
+			hidAct = hidPre.Clone()
+		}
+		tensor.GeLU(hidAct)
+		expertOut = kernels.SequentialGEMM(hidAct, rowsPerLE, params.W2)
+	}
+
+	// --- Reverse reorder to src-major -----------------------------------
+	r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(h)*elem))
+	sendBack := make([]simrt.Part, p)
+	{
+		for src := 0; src < p; src++ {
+			rows := 0
+			for _, c := range recvCounts[src] {
+				rows += c
+			}
+			part := simrt.Part{Bytes: int64(rows) * int64(h) * combElem}
+			if opts.Numeric {
+				buf := make([]float32, rows*h)
+				pos := 0
+				for le := 0; le < epr; le++ {
+					c := recvCounts[src][le]
+					if c == 0 {
+						continue
+					}
+					copy(buf[pos*h:(pos+c)*h],
+						expertOut.Data[blockOff[le][src]*h:(blockOff[le][src]+c)*h])
+					pos += c
+				}
+				part.Data = buf
+			}
+			sendBack[src] = part
+		}
+	}
+
+	// --- Uneven all-to-all (combine) -------------------------------------
+	back := r.AlltoAllV(g, StageCombineA2A, sendBack)
+	mem.Alloc("A_combine", int64(b)*int64(h)*combElem)
+	var combineIn *tensor.Tensor
+	if opts.Numeric {
+		combineIn = tensor.New(b, h)
+		pos := 0
+		for dst := 0; dst < p; dst++ {
+			d := back[dst].Data
+			copy(combineIn.Data[pos:pos+len(d)], d)
+			pos += len(d)
+		}
+	}
+
+	// --- Scatter combine --------------------------------------------------
+	r.Compute(StageCombine, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*combElem))
+	var out *tensor.Tensor
+	if opts.Numeric {
+		out = kernels.ScatterCombine(combineIn, pft.TokenIDs, pft.CombineWeights, s)
+	}
+	mem.Alloc("output", int64(s)*int64(h)*elem)
+
+	if !opts.RetainActivations {
+		mem.Free("dispatch_in", int64(b)*int64(h)*elem)
+		mem.Free("A_dispatch", int64(bExp)*int64(h)*elem)
+		mem.Free("A0_interm", int64(bExp)*int64(f)*elem)
+		mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
+		mem.Free("A_combine", int64(b)*int64(h)*combElem)
+		mem.Free("eri", pft.ERIBytes())
+	}
+
+	res := LayerResult{
+		Output:       out,
+		PFT:          pft,
+		RoutedTokens: b,
+		RecvTokens:   bExp,
+		Dropped:      pft.Dropped,
+	}
+	if opts.SaveForBackward {
+		res.State = &PFTFwdState{
+			S:          s,
+			PFT:        pft,
+			RecvCounts: recvCounts,
+			BlockOff:   blockOff,
+			RowsPerLE:  rowsPerLE,
+			ExpertIn:   expertIn,
+			HidPre:     hidPre,
+			HidAct:     hidAct,
+			CombineIn:  combineIn,
+		}
+	}
+	return res
+}
+
+// PaddedForward executes the conventional zero-padded MoE layer used by
+// the DeepSpeed-MoE / DeepSpeed-TED / Tutel baselines (paper §3.1,
+// Appendix B.1): dispatch-mask construction, einsum dispatch into
+// fixed-capacity [E, C, H] buffers, an even all-to-all that carries the
+// padding, batched padded expert GEMMs, the reverse all-to-all, and the
+// mask-einsum combine.
+func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult {
+	epr := epCheck(cfg, g)
+	p := g.Size()
+	h, f, e := cfg.HModel, cfg.HFFN, cfg.NumExperts
+	capTokens := cfg.Capacity(s)
+	elem := int64(cfg.BytesPerElem)
+	combElem := int64(opts.combineBytes(cfg))
+	mem := &r.Dev().Mem
+	comp := r.C.Comp
+
+	// Two baseline flavours share the padded buffers but differ in how
+	// they are produced: DeepSpeed-style frameworks build a dense
+	// [S, E, C] mask with a chain of fallback ops and dispatch/combine
+	// through mask einsums ("SEC,SH->ECH"); Tutel's tuned (vendor-class)
+	// kernels use a sparse cursor-based dispatcher, skipping the dense
+	// mask but still writing full capacity-padded buffers.
+	vendor := opts.Kernels == KernelsVendor
+	kernelClass := perfmodel.ClassFallback
+	launches := 12
+	maskBytes := int64(s) * int64(e) * int64(capTokens) * (elem + 4)
+	intermBytes := int64(s*cfg.TopK*e) * 4
+	if vendor {
+		kernelClass = perfmodel.ClassVendor
+		launches = 6
+		maskBytes = 0
+		intermBytes = int64(s*cfg.TopK) * 16
+	}
+
+	// --- Gate + dispatch-plan construction --------------------------------
+	gateTime := comp.GEMM(s, h, e) +
+		comp.MemBoundN(kernelClass, launches, maskBytes+intermBytes)
+	r.Compute(StageGate, gateTime)
+	pa := BuildPaddedAssignment(routing, e, capTokens, opts.DropPolicy)
+	mem.Alloc("mask", maskBytes)
+	mem.Alloc("mask_interm", intermBytes)
+
+	// --- Buffer dispatch ----------------------------------------------------
+	bufBytes := int64(e) * int64(capTokens) * int64(h) * elem
+	if vendor {
+		r.Compute(StageDispatch, comp.MemBound(perfmodel.ClassVendor, 2*bufBytes))
+	} else {
+		r.Compute(StageDispatch, comp.MaskEinsum(s, e, capTokens, h))
+	}
+	var dispBuf *tensor.Tensor
+	if opts.Numeric {
+		dispBuf = kernels.PaddedDispatch(x, pa.SlotToken, capTokens)
+	}
+	mem.Alloc("disp_buffer", bufBytes)
+
+	// --- Even all-to-all (dispatch) ---------------------------------------
+	// Every pair exchanges the full padded slice for the destination's
+	// experts: EPR * C * H regardless of real occupancy.
+	pairBytes := int64(epr) * int64(capTokens) * int64(h) * elem
+	send := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		part := simrt.Part{Bytes: pairBytes}
+		if opts.Numeric {
+			lo := dst * epr * capTokens * h
+			hi := (dst + 1) * epr * capTokens * h
+			part.Data = dispBuf.Data[lo:hi]
+		}
+		send[dst] = part
+	}
+	recv := r.AlltoAllV(g, StageDispatchA2A, send)
+	mem.Alloc("A_dispatch", int64(p)*pairBytes)
+
+	// --- Expert compute on padded buffers ---------------------------------
+	// Reshape [P, EPR, C, H] -> [EPR, P*C, H] (a permute the frameworks
+	// pay as a fallback op), then batched GEMMs over all padded rows.
+	r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p)*pairBytes))
+	rowsPerExpert := p * capTokens
+	expertTime := comp.BatchedPaddedGEMM(epr, rowsPerExpert, h, f) +
+		comp.BatchedPaddedGEMM(epr, rowsPerExpert, f, h) +
+		comp.MemBound(perfmodel.ClassVendor, 2*int64(epr*rowsPerExpert)*int64(f)*elem)
+	r.Compute(StageExperts, expertTime)
+	mem.Alloc("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+	mem.Alloc("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+	var expertOut *tensor.Tensor
+	if opts.Numeric {
+		// Expert-major view: rows of local expert le from all sources.
+		expertIn := tensor.New(epr*rowsPerExpert, h)
+		for src := 0; src < p; src++ {
+			data := recv[src].Data
+			for le := 0; le < epr; le++ {
+				srcBlock := data[le*capTokens*h : (le+1)*capTokens*h]
+				dstOff := (le*p + src) * capTokens * h
+				copy(expertIn.Data[dstOff:dstOff+capTokens*h], srcBlock)
+			}
+		}
+		rows := make([]int, epr)
+		for i := range rows {
+			rows[i] = rowsPerExpert
+		}
+		interm := kernels.SequentialGEMM(expertIn, rows, params.W1)
+		tensor.GeLU(interm)
+		expertOut = kernels.SequentialGEMM(interm, rows, params.W2)
+	}
+
+	// --- Even all-to-all (combine) -----------------------------------------
+	// The wire stays half precision; Tutel's fp32 quirk applies to the
+	// materialised A_combine buffer (Table 4), not the exchange.
+	r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p)*pairBytes))
+	sendBack := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		part := simrt.Part{Bytes: int64(epr) * int64(capTokens) * int64(h) * elem}
+		if opts.Numeric {
+			buf := make([]float32, epr*capTokens*h)
+			for le := 0; le < epr; le++ {
+				srcOff := (le*p + dst) * capTokens * h
+				copy(buf[le*capTokens*h:(le+1)*capTokens*h],
+					expertOut.Data[srcOff:srcOff+capTokens*h])
+			}
+			part.Data = buf
+		}
+		sendBack[dst] = part
+	}
+	back := r.AlltoAllV(g, StageCombineA2A, sendBack)
+	mem.Alloc("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
+
+	// --- Buffer combine -------------------------------------------------------
+	if vendor {
+		r.Compute(StageCombine, comp.MemBound(perfmodel.ClassVendor,
+			2*int64(e)*int64(capTokens)*int64(h)*combElem))
+	} else {
+		r.Compute(StageCombine, comp.MaskEinsum(s, e, capTokens, h))
+	}
+	var out *tensor.Tensor
+	if opts.Numeric {
+		full := tensor.New(e*capTokens, h)
+		for dst := 0; dst < p; dst++ {
+			d := back[dst].Data
+			copy(full.Data[dst*epr*capTokens*h:(dst*epr+epr)*capTokens*h], d)
+		}
+		out = kernels.PaddedCombine(full.Reshape(e, capTokens, h), pa.SlotToken, pa.SlotWeight, capTokens, s)
+	}
+	mem.Alloc("output", int64(s)*int64(h)*elem)
+
+	if !opts.RetainActivations {
+		mem.Free("mask", maskBytes)
+		mem.Free("mask_interm", intermBytes)
+		mem.Free("disp_buffer", int64(e)*int64(capTokens)*int64(h)*elem)
+		mem.Free("A_dispatch", int64(p)*pairBytes)
+		mem.Free("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+		mem.Free("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+		mem.Free("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
+	}
+
+	return LayerResult{
+		Output:       out,
+		RoutedTokens: pa.Occupied,
+		RecvTokens:   epr * rowsPerExpert,
+		Dropped:      pa.Dropped,
+	}
+}

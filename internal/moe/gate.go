@@ -1,0 +1,198 @@
+package moe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xmoe/internal/tensor"
+)
+
+// Routing is the output of the MoE gating function for a batch of S local
+// tokens: for each token, the top-k experts in descending score order,
+// their softmax probabilities (the combine weights), and the raw logits of
+// the selected experts (needed by DeepSpeed-MoE's drop-negative-score
+// policy, §5.6).
+type Routing struct {
+	// S is the number of local tokens routed.
+	S int
+	// TopExperts[t][j] is the j-th chosen expert of token t.
+	TopExperts [][]int
+	// Weights[t][j] is the gating probability of that assignment.
+	Weights [][]float32
+	// Logits[t][j] is the raw (pre-softmax) gate logit of that
+	// assignment; may be nil when the producer does not track it.
+	Logits [][]float32
+}
+
+// K returns the routing fan-out (0 for an empty routing).
+func (r Routing) K() int {
+	if len(r.TopExperts) == 0 {
+		return 0
+	}
+	return len(r.TopExperts[0])
+}
+
+// Validate checks structural consistency against an expert count.
+func (r Routing) Validate(numExperts int) error {
+	if len(r.TopExperts) != r.S || len(r.Weights) != r.S {
+		return fmt.Errorf("moe: routing arrays sized %d/%d for S=%d",
+			len(r.TopExperts), len(r.Weights), r.S)
+	}
+	k := r.K()
+	for t := 0; t < r.S; t++ {
+		if len(r.TopExperts[t]) != k || len(r.Weights[t]) != k {
+			return fmt.Errorf("moe: token %d has ragged top-k", t)
+		}
+		seen := map[int]bool{}
+		for j, e := range r.TopExperts[t] {
+			if e < 0 || e >= numExperts {
+				return fmt.Errorf("moe: token %d routed to expert %d outside [0,%d)", t, e, numExperts)
+			}
+			if seen[e] {
+				return fmt.Errorf("moe: token %d routed to expert %d twice", t, e)
+			}
+			seen[e] = true
+			if w := r.Weights[t][j]; w < 0 || w > 1 || math.IsNaN(float64(w)) {
+				return fmt.Errorf("moe: token %d weight %f outside [0,1]", t, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Gate computes the gating function of Listing 1 (lines 1-8) numerically:
+// logits = x·wg, softmax over experts, top-k selection. x is [S, H] and wg
+// is [H, E]. The returned routing carries both probabilities and raw
+// logits.
+func Gate(x, wg *tensor.Tensor, k int) Routing {
+	s := x.Rows()
+	e := wg.Cols()
+	logits := tensor.MatMul(x, wg)
+	probs := logits.Clone()
+	tensor.SoftmaxRows(probs)
+	idx, _ := tensor.TopK(probs, k)
+	r := Routing{
+		S:          s,
+		TopExperts: idx,
+		Weights:    make([][]float32, s),
+		Logits:     make([][]float32, s),
+	}
+	for t := 0; t < s; t++ {
+		r.Weights[t] = make([]float32, k)
+		r.Logits[t] = make([]float32, k)
+		for j, exp := range idx[t] {
+			r.Weights[t][j] = probs.At(t, exp)
+			r.Logits[t][j] = logits.At(t, exp)
+		}
+	}
+	_ = e
+	return r
+}
+
+// SyntheticRouting generates a deterministic, realistically imbalanced
+// routing for S tokens over E experts with fan-out k. Expert popularity
+// follows a Zipf-like distribution with exponent skew (0 = uniform);
+// per-token experts are sampled without replacement proportionally to
+// popularity. The skewed load is what makes capacity padding wasteful in
+// the baselines and gives RBD its node-level redundancy.
+func SyntheticRouting(rng *tensor.RNG, s, e, k int, skew float64) Routing {
+	if k > e {
+		panic(fmt.Sprintf("moe: k=%d exceeds experts=%d", k, e))
+	}
+	// Popularity: Zipf over a shuffled expert order so hot experts are
+	// scattered across ranks/nodes rather than clustered at low IDs.
+	pop := make([]float64, e)
+	perm := rng.Perm(e)
+	for i := 0; i < e; i++ {
+		pop[perm[i]] = math.Pow(float64(i+1), -skew)
+	}
+	// Cumulative weights for O(log E) sampling via binary search;
+	// duplicates are rejected and redrawn (k << E makes this cheap), with
+	// a bounded-retry fallback scan for pathological cases.
+	cum := make([]float64, e)
+	run := 0.0
+	for i, v := range pop {
+		run += v
+		cum[i] = run
+	}
+	total := run
+
+	r := Routing{
+		S:          s,
+		TopExperts: make([][]int, s),
+		Weights:    make([][]float32, s),
+		Logits:     make([][]float32, s),
+	}
+	chosenSet := make([]bool, e)
+	for t := 0; t < s; t++ {
+		experts := make([]int, k)
+		weights := make([]float32, k)
+		logits := make([]float32, k)
+		for j := 0; j < k; j++ {
+			idx := -1
+			for attempt := 0; attempt < 64; attempt++ {
+				target := rng.Float64() * total
+				cand := sort.SearchFloat64s(cum, target)
+				if cand >= e {
+					cand = e - 1
+				}
+				if !chosenSet[cand] {
+					idx = cand
+					break
+				}
+			}
+			if idx < 0 {
+				// Fallback: take the first unchosen expert.
+				for cand := 0; cand < e; cand++ {
+					if !chosenSet[cand] {
+						idx = cand
+						break
+					}
+				}
+			}
+			chosenSet[idx] = true
+			experts[j] = idx
+			logits[j] = float32(rng.Norm() + 1.0)
+		}
+		for _, ex := range experts {
+			chosenSet[ex] = false
+		}
+		// Combine weights: softmax over k pseudo-scores, descending to
+		// mimic top-k ordering.
+		var sum float64
+		raw := make([]float64, k)
+		for j := range raw {
+			raw[j] = math.Exp(rng.Norm())
+			sum += raw[j]
+		}
+		for j := range raw {
+			weights[j] = float32(raw[j] / sum * 0.9) // headroom below 1.0
+		}
+		// Sort selections by weight descending (top-k order).
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if weights[b] > weights[a] {
+					weights[a], weights[b] = weights[b], weights[a]
+					experts[a], experts[b] = experts[b], experts[a]
+					logits[a], logits[b] = logits[b], logits[a]
+				}
+			}
+		}
+		r.TopExperts[t] = experts
+		r.Weights[t] = weights
+		r.Logits[t] = logits
+	}
+	return r
+}
+
+// ExpertLoad returns the number of routed assignments per expert.
+func (r Routing) ExpertLoad(numExperts int) []int {
+	load := make([]int, numExperts)
+	for t := 0; t < r.S; t++ {
+		for _, e := range r.TopExperts[t] {
+			load[e]++
+		}
+	}
+	return load
+}

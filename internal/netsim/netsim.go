@@ -1,0 +1,433 @@
+// Package netsim is a link-level analytic network simulator for the
+// hierarchical interconnects described by internal/topology. It converts
+// collective communication patterns (all-to-all-v, all-reduce, all-gather,
+// reduce-scatter, broadcast) into wall-clock time estimates using an α–β
+// model per link class, per-node NIC aggregation, and a Dragonfly
+// cross-rack congestion model (paper Appendix D).
+//
+// The simulator is deliberately analytic rather than packet-level: the
+// paper's communication effects — the 8x intra/inter-node bandwidth
+// asymmetry that motivates RBD, padded vs padding-free volume, and
+// cross-rack congestion outliers past 256 GPUs — are all bandwidth- and
+// topology-level phenomena, faithfully captured at this granularity.
+package netsim
+
+import (
+	"math"
+	"sync"
+
+	"xmoe/internal/topology"
+)
+
+// Cost reports the outcome of simulating one collective operation.
+type Cost struct {
+	// Seconds is the modeled wall-clock duration of the collective.
+	Seconds float64
+	// BytesByClass is the total traffic crossing each link class.
+	BytesByClass map[topology.LinkClass]int64
+	// CongestionDelay is the portion of Seconds attributable to sampled
+	// cross-rack congestion (zero when the group fits in one rack).
+	CongestionDelay float64
+}
+
+// TotalBytes returns the sum of traffic over all non-local link classes.
+func (c Cost) TotalBytes() int64 {
+	var t int64
+	for class, b := range c.BytesByClass {
+		if class != topology.LinkLocal {
+			t += b
+		}
+	}
+	return t
+}
+
+// InterNodeBytes returns traffic crossing node boundaries (inter-node plus
+// cross-rack links) — the quantity RBD minimises.
+func (c Cost) InterNodeBytes() int64 {
+	return c.BytesByClass[topology.LinkInterNode] + c.BytesByClass[topology.LinkCrossRack]
+}
+
+// CongestionModel parameterises the Dragonfly congestion behaviour
+// observed in Appendix D: all-to-alls are stable up to one rack and
+// develop heavy-tailed outliers beyond it, as cross-rack traffic contends
+// with other jobs on shared global links.
+type CongestionModel struct {
+	// OutlierProb2Racks .. OutlierProb4Racks give the per-collective
+	// probability of hitting a congested global link when the group
+	// spans 2 and >=4 racks respectively (interpolated in between).
+	OutlierProb2Racks float64
+	OutlierProb4Racks float64
+	// OutlierMin/MaxDelay bound the uniform outlier delay in seconds
+	// (paper: frequent > 500 ms per-collective times at 512/1024 GPUs).
+	OutlierMinDelay float64
+	OutlierMaxDelay float64
+	// BaseCrossRackSlowdown divides effective cross-rack bandwidth even
+	// when no outlier fires (steady-state sharing of global links).
+	BaseCrossRackSlowdown float64
+}
+
+// DefaultCongestion returns the congestion constants calibrated against
+// the paper's Appendix D characterisation (Figs. 18-19).
+func DefaultCongestion() CongestionModel {
+	return CongestionModel{
+		OutlierProb2Racks:     0.04,
+		OutlierProb4Racks:     0.12,
+		OutlierMinDelay:       0.1,
+		OutlierMaxDelay:       0.9,
+		BaseCrossRackSlowdown: 1.6,
+	}
+}
+
+// Network simulates collectives over a machine. It is safe for concurrent
+// use by multiple goroutines (the simulated ranks).
+type Network struct {
+	M          *topology.Machine
+	Congestion CongestionModel
+	// DisableCongestion turns off stochastic outliers (used by
+	// correctness tests that need deterministic times).
+	DisableCongestion bool
+	// ExpectedCongestion replaces outlier sampling by its expectation
+	// (probability x mean delay), giving deterministic amortised costs.
+	// The throughput simulator uses this because it simulates one layer
+	// and scales by depth; the Appendix-D characterisation keeps
+	// sampling to reproduce the outlier scatter.
+	ExpectedCongestion bool
+	// JobRanks, when positive, is the total rank count of the running
+	// job. Appendix D observes that once a job spans more than one rack,
+	// even sub-rack communicators hit congested Dragonfly global links
+	// (allocations are fragmented and the fabric is shared with other
+	// jobs), so congestion scope is the job, not the communicator.
+	JobRanks int
+
+	mu       sync.Mutex
+	rngState uint64
+}
+
+// New returns a network simulator over machine m with the default
+// congestion model, seeded deterministically.
+func New(m *topology.Machine, seed uint64) *Network {
+	return &Network{M: m, Congestion: DefaultCongestion(), rngState: seed}
+}
+
+// rand returns a uniform float64 in [0,1) from the network's internal
+// deterministic generator.
+func (n *Network) rand() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rngState += 0x9e3779b97f4a7c15
+	z := n.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// racksSpanned counts the racks whose congestion the collective is
+// exposed to: the communicator's own span, widened to the job's rack span
+// when the collective leaves node boundaries (fragmented allocations and
+// shared global links, Appendix D).
+func (n *Network) racksSpanned(ranks []int) int {
+	seen := map[int]bool{}
+	nodes := map[int]bool{}
+	for _, r := range ranks {
+		seen[n.M.RackOf(r)] = true
+		nodes[n.M.NodeOf(r)] = true
+	}
+	racks := len(seen)
+	if n.JobRanks > 0 && len(nodes) > 1 {
+		if jr := n.M.NumRacks(n.JobRanks); jr > racks {
+			racks = jr
+		}
+	}
+	return racks
+}
+
+// congestionDelay samples the additional delay for a collective exposed
+// to the given rack span whose fabric-visible (inter-node or cross-rack)
+// traffic is fabricBytes.
+func (n *Network) congestionDelay(racks int, fabricBytes int64) float64 {
+	if n.DisableCongestion || racks <= 1 || fabricBytes == 0 {
+		return 0
+	}
+	c := n.Congestion
+	p := c.OutlierProb2Racks
+	if racks >= 4 {
+		p = c.OutlierProb4Racks
+	} else if racks == 3 {
+		p = (c.OutlierProb2Racks + c.OutlierProb4Racks) / 2
+	}
+	if n.ExpectedCongestion {
+		return p * (c.OutlierMinDelay + c.OutlierMaxDelay) / 2
+	}
+	if n.rand() >= p {
+		return 0
+	}
+	return c.OutlierMinDelay + n.rand()*(c.OutlierMaxDelay-c.OutlierMinDelay)
+}
+
+// AlltoAllV simulates an uneven all-to-all among ranks, where
+// sendBytes[i][j] is the payload rank ranks[i] sends to ranks[j]. It
+// models each GPU's egress/ingress serialisation per destination link
+// class, aggregates node egress/ingress through the shared NIC bandwidth,
+// and takes the bottleneck. Startup costs α are charged per destination
+// message.
+func (n *Network) AlltoAllV(ranks []int, sendBytes [][]int64) Cost {
+	m := n.M
+	p := len(ranks)
+	byClass := map[topology.LinkClass]int64{}
+
+	gpuTime := make([]float64, p)  // per-rank max(egress, ingress) serialisation
+	ingress := make([]float64, p)  // per-rank ingress accumulation
+	nodeEgress := map[int]int64{}  // node -> bytes leaving node
+	nodeIngress := map[int]int64{} // node -> bytes entering node
+	crossBytes := int64(0)
+
+	for i := 0; i < p; i++ {
+		src := ranks[i]
+		var egressTime float64
+		for j := 0; j < p; j++ {
+			b := sendBytes[i][j]
+			if b == 0 {
+				continue
+			}
+			dst := ranks[j]
+			class := m.Classify(src, dst)
+			byClass[class] += b
+			spec := m.Link(class)
+			bw := spec.Bandwidth
+			if class == topology.LinkCrossRack && !n.DisableCongestion {
+				bw /= n.Congestion.BaseCrossRackSlowdown
+			}
+			t := spec.Latency + float64(b)/bw
+			egressTime += t
+			ingress[j] += t
+			if class == topology.LinkInterNode || class == topology.LinkCrossRack {
+				nodeEgress[m.NodeOf(src)] += b
+				nodeIngress[m.NodeOf(dst)] += b
+			}
+			if class == topology.LinkCrossRack {
+				crossBytes += b
+			}
+		}
+		gpuTime[i] = egressTime
+	}
+
+	var maxTime float64
+	for i := 0; i < p; i++ {
+		if gpuTime[i] > maxTime {
+			maxTime = gpuTime[i]
+		}
+		if ingress[i] > maxTime {
+			maxTime = ingress[i]
+		}
+	}
+	nic := m.NodeNICBandwidth
+	for _, b := range nodeEgress {
+		if t := float64(b) / nic; t > maxTime {
+			maxTime = t
+		}
+	}
+	for _, b := range nodeIngress {
+		if t := float64(b) / nic; t > maxTime {
+			maxTime = t
+		}
+	}
+
+	fabric := crossBytes + byClass[topology.LinkInterNode]
+	cd := n.congestionDelay(n.racksSpanned(ranks), fabric)
+	return Cost{Seconds: maxTime + cd, BytesByClass: byClass, CongestionDelay: cd}
+}
+
+// AlltoAll simulates an even all-to-all where every rank sends bytesPerPair
+// to every other rank (the padded GShard/DeepSpeed-MoE exchange).
+func (n *Network) AlltoAll(ranks []int, bytesPerPair int64) Cost {
+	p := len(ranks)
+	send := make([][]int64, p)
+	for i := range send {
+		send[i] = make([]int64, p)
+		for j := range send[i] {
+			if i != j {
+				send[i][j] = bytesPerPair
+			}
+		}
+	}
+	return n.AlltoAllV(ranks, send)
+}
+
+// groupLayout describes how a communicator maps onto the machine
+// hierarchy: members per node and the node/rack span.
+type groupLayout struct {
+	membersPerNode int // max members co-located on one node
+	nodes          int
+	racks          int
+	intraClass     topology.LinkClass
+}
+
+func (n *Network) layout(ranks []int) groupLayout {
+	perNode := map[int]int{}
+	racks := map[int]bool{}
+	intra := topology.LinkGCDPair
+	for _, r := range ranks {
+		perNode[n.M.NodeOf(r)]++
+		racks[n.M.RackOf(r)] = true
+	}
+	maxPer := 0
+	for _, c := range perNode {
+		if c > maxPer {
+			maxPer = c
+		}
+	}
+	// If any same-node pair is not a GCD pair, the intra tier is the
+	// slower intra-node link.
+	for i := 0; i < len(ranks) && intra == topology.LinkGCDPair; i++ {
+		for j := i + 1; j < len(ranks); j++ {
+			if n.M.SameNode(ranks[i], ranks[j]) &&
+				n.M.Classify(ranks[i], ranks[j]) == topology.LinkIntraNode {
+				intra = topology.LinkIntraNode
+				break
+			}
+		}
+	}
+	return groupLayout{membersPerNode: maxPer, nodes: len(perNode), racks: len(racks), intraClass: intra}
+}
+
+// AllReduce simulates a hierarchical ring all-reduce of bytes per rank:
+// intra-node reduce-scatter, inter-node ring all-reduce on the sharded
+// data (through the shared node NIC), then intra-node all-gather.
+func (n *Network) AllReduce(ranks []int, bytes int64) Cost {
+	p := len(ranks)
+	if p <= 1 || bytes == 0 {
+		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	}
+	l := n.layout(ranks)
+	intra := n.M.Link(l.intraClass)
+	byClass := map[topology.LinkClass]int64{}
+	var t float64
+
+	g := l.membersPerNode
+	if g > 1 {
+		// Intra-node reduce-scatter + all-gather: 2 x (g-1)/g x bytes.
+		vol := 2 * float64(g-1) / float64(g) * float64(bytes)
+		t += vol/intra.Bandwidth + 2*float64(g-1)*intra.Latency
+		byClass[l.intraClass] += int64(vol) * int64(g)
+	}
+	if l.nodes > 1 {
+		// Inter-node ring all-reduce on bytes/g shards; the g flows per
+		// node share the NIC, so per-node throughput is the NIC rate.
+		nodes := l.nodes
+		shard := float64(bytes) / float64(max(g, 1))
+		vol := 2 * float64(nodes-1) / float64(nodes) * shard * float64(g)
+		interSpec := n.M.Link(topology.LinkInterNode)
+		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(g))
+		t += vol/bw + 2*float64(nodes-1)*interSpec.Latency
+		class := topology.LinkInterNode
+		if l.racks > 1 {
+			class = topology.LinkCrossRack
+		}
+		byClass[class] += int64(vol) * int64(nodes)
+	}
+	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
+	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}
+}
+
+// AllGather simulates gathering perRankBytes[i] from each rank to all
+// ranks (ring schedule, hierarchical bandwidth).
+func (n *Network) AllGather(ranks []int, perRankBytes []int64) Cost {
+	p := len(ranks)
+	if p <= 1 {
+		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	}
+	var total int64
+	for _, b := range perRankBytes {
+		total += b
+	}
+	l := n.layout(ranks)
+	byClass := map[topology.LinkClass]int64{}
+	var t float64
+	g := l.membersPerNode
+	intra := n.M.Link(l.intraClass)
+	if g > 1 {
+		vol := float64(g-1) / float64(g) * float64(total)
+		t += vol/intra.Bandwidth + float64(g-1)*intra.Latency
+		byClass[l.intraClass] += int64(vol)
+	}
+	if l.nodes > 1 {
+		nodes := l.nodes
+		vol := float64(nodes-1) / float64(nodes) * float64(total)
+		interSpec := n.M.Link(topology.LinkInterNode)
+		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(max(g, 1)))
+		t += vol/bw + float64(nodes-1)*interSpec.Latency
+		class := topology.LinkInterNode
+		if l.racks > 1 {
+			class = topology.LinkCrossRack
+		}
+		byClass[class] += int64(vol) * int64(nodes)
+	}
+	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
+	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}
+}
+
+// ReduceScatter simulates a reduce-scatter of bytes per rank; with a ring
+// schedule its cost matches one all-gather pass over the same volume.
+func (n *Network) ReduceScatter(ranks []int, bytes int64) Cost {
+	p := len(ranks)
+	if p <= 1 || bytes == 0 {
+		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	}
+	per := make([]int64, p)
+	for i := range per {
+		per[i] = bytes / int64(p)
+	}
+	return n.AllGather(ranks, per)
+}
+
+// Broadcast simulates a binomial-tree broadcast of bytes from the first
+// rank to all others.
+func (n *Network) Broadcast(ranks []int, bytes int64) Cost {
+	p := len(ranks)
+	if p <= 1 || bytes == 0 {
+		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	}
+	l := n.layout(ranks)
+	steps := int(math.Ceil(math.Log2(float64(p))))
+	slowest := topology.LinkGCDPair
+	if l.nodes > 1 {
+		slowest = topology.LinkInterNode
+	}
+	if l.racks > 1 {
+		slowest = topology.LinkCrossRack
+	}
+	spec := n.M.Link(slowest)
+	t := float64(steps) * (spec.Latency + float64(bytes)/spec.Bandwidth)
+	byClass := map[topology.LinkClass]int64{slowest: bytes * int64(p-1)}
+	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
+	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}
+}
+
+// Barrier returns the synchronisation cost of a barrier among ranks.
+func (n *Network) Barrier(ranks []int) Cost {
+	p := len(ranks)
+	if p <= 1 {
+		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	}
+	l := n.layout(ranks)
+	class := topology.LinkGCDPair
+	if l.nodes > 1 {
+		class = topology.LinkInterNode
+	}
+	if l.racks > 1 {
+		class = topology.LinkCrossRack
+	}
+	steps := math.Ceil(math.Log2(float64(p)))
+	return Cost{
+		Seconds:      steps * n.M.Link(class).Latency * 2,
+		BytesByClass: map[topology.LinkClass]int64{},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

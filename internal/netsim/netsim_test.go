@@ -1,0 +1,248 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xmoe/internal/topology"
+)
+
+func ranksRange(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+func newQuiet(m *topology.Machine) *Network {
+	n := New(m, 1)
+	n.DisableCongestion = true
+	return n
+}
+
+func TestAlltoAllIntraNodeFasterThanInterNode(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	const b = 64 << 20                                          // 64 MiB per pair
+	intra := n.AlltoAll(ranksRange(8), b)                       // one node
+	inter := n.AlltoAll([]int{0, 8, 16, 24, 32, 40, 48, 56}, b) // 8 nodes
+	if intra.Seconds >= inter.Seconds {
+		t.Fatalf("intra-node a2a (%.4fs) should beat inter-node (%.4fs)", intra.Seconds, inter.Seconds)
+	}
+	if inter.InterNodeBytes() == 0 {
+		t.Fatal("inter-node a2a must cross node boundaries")
+	}
+	if intra.InterNodeBytes() != 0 {
+		t.Fatal("single-node a2a must not use inter-node links")
+	}
+}
+
+func TestAlltoAllVolumeScalesTime(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	small := n.AlltoAll(ranksRange(16), 1<<20)
+	big := n.AlltoAll(ranksRange(16), 16<<20)
+	if big.Seconds <= small.Seconds {
+		t.Fatal("16x payload must take longer")
+	}
+	ratio := big.Seconds / small.Seconds
+	if ratio < 8 || ratio > 24 {
+		t.Fatalf("time ratio %.2f not roughly linear in volume", ratio)
+	}
+}
+
+func TestAlltoAllVZeroTraffic(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	send := make([][]int64, 4)
+	for i := range send {
+		send[i] = make([]int64, 4)
+	}
+	c := n.AlltoAllV(ranksRange(4), send)
+	if c.Seconds != 0 || c.TotalBytes() != 0 {
+		t.Fatalf("empty a2av should be free, got %.6fs %d bytes", c.Seconds, c.TotalBytes())
+	}
+}
+
+func TestAlltoAllVByteAccounting(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	// Ranks 0,1 share an MI250X; rank 8 is on another node.
+	ranks := []int{0, 1, 8}
+	send := [][]int64{
+		{0, 100, 200}, // 0->1 pair, 0->8 inter
+		{300, 0, 0},   // 1->0 pair
+		{0, 400, 0},   // 8->1 inter
+	}
+	c := n.AlltoAllV(ranks, send)
+	if got := c.BytesByClass[topology.LinkGCDPair]; got != 400 {
+		t.Fatalf("pair bytes = %d, want 400", got)
+	}
+	if got := c.BytesByClass[topology.LinkInterNode]; got != 600 {
+		t.Fatalf("inter-node bytes = %d, want 600", got)
+	}
+	if c.InterNodeBytes() != 600 {
+		t.Fatalf("InterNodeBytes = %d, want 600", c.InterNodeBytes())
+	}
+}
+
+func TestNICAggregationLimitsNodeEgress(t *testing.T) {
+	// All 8 GPUs of node 0 each send 100 MiB to distinct GPUs of node 1:
+	// 800 MiB must squeeze through the 100 GB/s NIC => >= 8 ms.
+	n := newQuiet(topology.Frontier())
+	ranks := ranksRange(16)
+	send := make([][]int64, 16)
+	for i := range send {
+		send[i] = make([]int64, 16)
+	}
+	const b = 100 << 20
+	for g := 0; g < 8; g++ {
+		send[g][8+g] = b
+	}
+	c := n.AlltoAllV(ranks, send)
+	wantMin := float64(8*b) / n.M.NodeNICBandwidth
+	if c.Seconds < wantMin {
+		t.Fatalf("a2av %.4fs beats NIC aggregate floor %.4fs", c.Seconds, wantMin)
+	}
+}
+
+func TestCrossRackCongestionOutliers(t *testing.T) {
+	m := topology.Frontier()
+	n := New(m, 7)
+	// 512 GPUs spanning 2 racks: outliers must appear over many trials.
+	ranks := ranksRange(512)
+	send := make([][]int64, len(ranks))
+	for i := range send {
+		send[i] = make([]int64, len(ranks))
+		for j := range send[i] {
+			if i != j {
+				send[i][j] = 1 << 14
+			}
+		}
+	}
+	outliers := 0
+	var base float64
+	for trial := 0; trial < 200; trial++ {
+		c := n.AlltoAllV(ranks, send)
+		if base == 0 {
+			base = c.Seconds - c.CongestionDelay
+		}
+		if c.CongestionDelay > 0 {
+			outliers++
+			if c.CongestionDelay < n.Congestion.OutlierMinDelay {
+				t.Fatalf("outlier delay %.4f below configured minimum", c.CongestionDelay)
+			}
+		}
+	}
+	if outliers == 0 {
+		t.Fatal("expected congestion outliers over 200 cross-rack a2a runs")
+	}
+	if outliers > 100 {
+		t.Fatalf("outliers should be the tail, got %d/200", outliers)
+	}
+}
+
+func TestSingleRackNoCongestion(t *testing.T) {
+	n := New(topology.Frontier(), 3)
+	for trial := 0; trial < 100; trial++ {
+		c := n.AlltoAll(ranksRange(256), 1<<16)
+		if c.CongestionDelay != 0 {
+			t.Fatal("single-rack collective must not hit cross-rack congestion")
+		}
+	}
+}
+
+func TestAllReduceScalesWithBytesAndSpan(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	small := n.AllReduce(ranksRange(8), 1<<20)
+	big := n.AllReduce(ranksRange(8), 64<<20)
+	if big.Seconds <= small.Seconds {
+		t.Fatal("allreduce time must grow with volume")
+	}
+	intra := n.AllReduce(ranksRange(8), 64<<20)
+	inter := n.AllReduce(ranksRange(64), 64<<20)
+	if inter.Seconds <= intra.Seconds {
+		t.Fatal("multi-node allreduce must cost more than single-node")
+	}
+	if n.AllReduce(ranksRange(1), 1<<20).Seconds != 0 {
+		t.Fatal("single-rank allreduce is free")
+	}
+}
+
+func TestAllGatherAndReduceScatter(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	per := make([]int64, 16)
+	for i := range per {
+		per[i] = 1 << 20
+	}
+	ag := n.AllGather(ranksRange(16), per)
+	if ag.Seconds <= 0 {
+		t.Fatal("allgather must take time")
+	}
+	rs := n.ReduceScatter(ranksRange(16), 16<<20)
+	if rs.Seconds <= 0 {
+		t.Fatal("reduce-scatter must take time")
+	}
+}
+
+func TestBroadcastAndBarrier(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	bc := n.Broadcast(ranksRange(64), 1<<20)
+	if bc.Seconds <= 0 {
+		t.Fatal("broadcast must take time")
+	}
+	bar := n.Barrier(ranksRange(64))
+	if bar.Seconds <= 0 || bar.Seconds > 1e-3 {
+		t.Fatalf("barrier time %.6fs out of expected sub-ms range", bar.Seconds)
+	}
+	if n.Barrier(ranksRange(1)).Seconds != 0 {
+		t.Fatal("single-rank barrier is free")
+	}
+}
+
+// The DP-first vs EP-first insight (Appendix C.1) depends on allreduce over
+// co-located ranks being much cheaper than over scattered ranks.
+func TestAllReducePlacementSensitivity(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	const bytes = 256 << 20
+	colocated := n.AllReduce(ranksRange(8), bytes) // all on node 0
+	scattered := make([]int, 8)
+	for i := range scattered {
+		scattered[i] = i * 8 // one GPU on each of 8 nodes
+	}
+	spread := n.AllReduce(scattered, bytes)
+	if spread.Seconds < 2*colocated.Seconds {
+		t.Fatalf("scattered allreduce (%.4fs) should be >=2x colocated (%.4fs)",
+			spread.Seconds, colocated.Seconds)
+	}
+}
+
+func TestQuickAlltoAllVMonotoneInVolume(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	f := func(seed uint64) bool {
+		// Random sparse traffic; doubling every entry must not reduce time.
+		rng := seed
+		next := func() uint64 {
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 27)
+		}
+		p := 2 + int(next()%14)
+		ranks := ranksRange(p * 4)[:p]
+		send := make([][]int64, p)
+		dbl := make([][]int64, p)
+		for i := range send {
+			send[i] = make([]int64, p)
+			dbl[i] = make([]int64, p)
+			for j := range send[i] {
+				if i != j && next()%3 == 0 {
+					b := int64(next() % (1 << 22))
+					send[i][j] = b
+					dbl[i][j] = 2 * b
+				}
+			}
+		}
+		return n.AlltoAllV(ranks, dbl).Seconds >= n.AlltoAllV(ranks, send).Seconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package perfmodel converts the logical operations of the MoE training
+// pipeline (GEMMs, gather/scatter kernels, dense fallback ops) into
+// modeled execution times on a device profile. It encodes the performance
+// asymmetries the paper measures on AMD MI250X GPUs:
+//
+//   - Dense GEMMs run at a device-dependent fraction of peak, degraded for
+//     small or skinny shapes (fine-grained experts have small H_FFN).
+//   - "Triton-class" kernels (the paper's portable gather/scatter, §4.1.2)
+//     are memory-bandwidth bound with coalesced access.
+//   - "Fallback-class" ops (PyTorch-level einsum/one-hot/cumsum pipelines
+//     that conventional frameworks use for gating and dispatch) achieve a
+//     small fraction of memory bandwidth and pay large per-op overheads —
+//     this is why Tutel/DeepSpeed-MoE observe <10% of peak on MI250X
+//     (§1) and why X-MoE's gating is 5.7x faster (§5.4.1).
+//
+// All constants live here and are shared by every experiment; none are
+// tuned per figure.
+package perfmodel
+
+import "xmoe/internal/topology"
+
+// KernelClass labels the implementation quality of a non-GEMM operation.
+type KernelClass int
+
+const (
+	// ClassTriton is a portable tiled kernel with coalesced access
+	// (X-MoE's gather/scatter and PFT construction kernels).
+	ClassTriton KernelClass = iota
+	// ClassFallback is a framework-level composite op (einsum over
+	// dispatch masks, one-hot + cumsum chains) with poor locality.
+	ClassFallback
+	// ClassVendor is a vendor-tuned dense primitive (batched matmul on
+	// NVIDIA; noticeably weaker on ROCm).
+	ClassVendor
+)
+
+// Model holds the calibration constants for one device.
+type Model struct {
+	// Dev is the device being modeled.
+	Dev topology.DeviceProfile
+	// BaseGEMMEff is the fraction of peak FLOPs a large, well-shaped
+	// GEMM achieves.
+	BaseGEMMEff float64
+	// EinsumEff is the fraction of peak achieved by mask-einsum dispatch
+	// (batched matmul against a sparse one-hot mask).
+	EinsumEff float64
+	// BWFrac maps kernel classes to the achieved fraction of HBM
+	// bandwidth.
+	BWFrac map[KernelClass]float64
+	// LaunchOverhead maps kernel classes to fixed per-launch host-side
+	// cost in seconds.
+	LaunchOverhead map[KernelClass]float64
+	// GEMMLaunch is the per-GEMM launch overhead in seconds; the
+	// sequential-GEMM expert computation pays it once per local expert.
+	GEMMLaunch float64
+}
+
+// ForDevice returns the calibrated model for a known device profile.
+// Unknown devices fall back to the MI250X constants.
+func ForDevice(dev topology.DeviceProfile) *Model {
+	switch dev.Name {
+	case "A100-40GB":
+		return &Model{
+			Dev:         dev,
+			BaseGEMMEff: 0.60,
+			EinsumEff:   0.32,
+			// On NVIDIA the vendor-tuned kernels lead; portable Triton
+			// kernels trail slightly (the paper's "modest throughput
+			// trade-off" on A100, §5.5).
+			BWFrac: map[KernelClass]float64{
+				ClassTriton:   0.62,
+				ClassFallback: 0.07,
+				ClassVendor:   0.70,
+			},
+			LaunchOverhead: map[KernelClass]float64{
+				ClassTriton:   4e-6,
+				ClassFallback: 30e-6,
+				ClassVendor:   6e-6,
+			},
+			GEMMLaunch: 5e-6,
+		}
+	default: // MI250X-GCD and anything unrecognised
+		return &Model{
+			Dev:         dev,
+			BaseGEMMEff: 0.45,
+			EinsumEff:   0.25,
+			BWFrac: map[KernelClass]float64{
+				ClassTriton:   0.60,
+				ClassFallback: 0.05,
+				ClassVendor:   0.30,
+			},
+			LaunchOverhead: map[KernelClass]float64{
+				ClassTriton:   6e-6,
+				ClassFallback: 40e-6,
+				ClassVendor:   10e-6,
+			},
+			GEMMLaunch: 8e-6,
+		}
+	}
+}
+
+// shapeEff returns the utilisation factor of a GEMM with the given
+// dimensions: throughput saturates as each dimension grows past the
+// hardware tile granularity, so skinny fine-grained-expert GEMMs
+// underutilise the device.
+func shapeEff(m, k, n int) float64 {
+	f := func(d, half int) float64 { return float64(d) / float64(d+half) }
+	return f(m, 96) * f(k, 48) * f(n, 48)
+}
+
+// GEMM returns the modeled time of a single [m,k]x[k,n] matmul.
+func (md *Model) GEMM(m, k, n int) float64 {
+	if m == 0 || k == 0 || n == 0 {
+		return md.GEMMLaunch
+	}
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	eff := md.BaseGEMMEff * shapeEff(m, k, n)
+	return md.GEMMLaunch + flops/(md.Dev.PeakFLOPs*eff)
+}
+
+// SequentialGEMM returns the time of X-MoE's sequential expert GEMM: one
+// launch per local expert over uneven row segments (rows[i] tokens for
+// expert i), each multiplying [rows[i],k]x[k,n].
+func (md *Model) SequentialGEMM(rows []int, k, n int) float64 {
+	var t float64
+	for _, m := range rows {
+		t += md.GEMM(m, k, n)
+	}
+	return t
+}
+
+// BatchedPaddedGEMM returns the time of the baseline's padded expert
+// batched GEMM: e experts, each with a fixed capacity-c buffer, computing
+// [c,k]x[k,n] per expert as one batched launch. Padding rows burn real
+// FLOPs.
+func (md *Model) BatchedPaddedGEMM(e, c, k, n int) float64 {
+	if e == 0 || c == 0 {
+		return md.GEMMLaunch
+	}
+	flops := 2 * float64(e) * float64(c) * float64(k) * float64(n)
+	// Batched execution amortises launches and uses good tiling across
+	// the batch; efficiency follows the per-expert shape.
+	eff := md.BaseGEMMEff * shapeEff(c, k, n)
+	return md.GEMMLaunch + flops/(md.Dev.PeakFLOPs*eff)
+}
+
+// MaskEinsum returns the time of the conventional dispatch/combine einsum
+// ("SEC,SH->ECH"): a dense matmul of the [E*C, S] one-hot mask against the
+// [S, H] token buffer (2*S*E*C*H FLOPs almost entirely wasted on zeros).
+func (md *Model) MaskEinsum(s, e, c, h int) float64 {
+	flops := 2 * float64(s) * float64(e) * float64(c) * float64(h)
+	return md.LaunchOverhead[ClassVendor] + flops/(md.Dev.PeakFLOPs*md.EinsumEff)
+}
+
+// MemBound returns the time of a bandwidth-bound kernel of the given class
+// moving the given number of bytes (read + write combined).
+func (md *Model) MemBound(class KernelClass, bytes int64) float64 {
+	bw := md.Dev.HBMBandwidth * md.BWFrac[class]
+	return md.LaunchOverhead[class] + float64(bytes)/bw
+}
+
+// MemBoundN returns the time of n back-to-back launches of a
+// bandwidth-bound kernel moving bytes in total. Fallback-class pipelines
+// issue many small ops, so n matters.
+func (md *Model) MemBoundN(class KernelClass, n int, bytes int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	bw := md.Dev.HBMBandwidth * md.BWFrac[class]
+	return float64(n)*md.LaunchOverhead[class] + float64(bytes)/bw
+}

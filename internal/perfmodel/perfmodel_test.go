@@ -1,0 +1,153 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"xmoe/internal/topology"
+)
+
+func mi250x() *Model { return ForDevice(topology.Frontier().Device) }
+func a100() *Model   { return ForDevice(topology.DGXA100().Device) }
+
+func TestForDeviceSelectsProfiles(t *testing.T) {
+	if mi250x().BaseGEMMEff >= a100().BaseGEMMEff {
+		t.Fatal("ROCm GEMM efficiency should be below CUDA in the model")
+	}
+	unknown := ForDevice(topology.DeviceProfile{Name: "mystery", PeakFLOPs: 1e12, MemBytes: 1 << 30, HBMBandwidth: 1e12})
+	if unknown.BaseGEMMEff != mi250x().BaseGEMMEff {
+		t.Fatal("unknown devices should fall back to MI250X constants")
+	}
+}
+
+func TestGEMMGrowsWithShape(t *testing.T) {
+	m := mi250x()
+	small := m.GEMM(128, 512, 512)
+	big := m.GEMM(4096, 512, 512)
+	if big <= small {
+		t.Fatal("bigger GEMM must take longer")
+	}
+	if m.GEMM(0, 512, 512) != m.GEMMLaunch {
+		t.Fatal("empty GEMM should cost exactly one launch")
+	}
+}
+
+func TestSkinnyGEMMsAreInefficient(t *testing.T) {
+	m := mi250x()
+	// Same FLOPs, different shapes: [64,4096]x[4096,4096] vs
+	// [1024,1024]x[1024,1024] (both 2^31 FLOPs). The skinny one must
+	// achieve lower throughput (longer time for equal FLOPs).
+	skinny := m.GEMM(64, 4096, 4096)
+	square := m.GEMM(1024, 1024, 1024)
+	if skinny <= square {
+		t.Fatalf("skinny GEMM (%.6fs) should be slower than square (%.6fs) at equal FLOPs", skinny, square)
+	}
+}
+
+func TestSequentialGEMMChargesPerExpertLaunch(t *testing.T) {
+	m := mi250x()
+	// 64 experts with tiny token counts: launch overhead dominates, so
+	// sequential GEMM must cost at least 64 launches.
+	rows := make([]int, 64)
+	for i := range rows {
+		rows[i] = 4
+	}
+	tSeq := m.SequentialGEMM(rows, 2048, 1408)
+	if tSeq < 64*m.GEMMLaunch {
+		t.Fatalf("sequential GEMM %.6fs under the launch floor %.6fs", tSeq, 64*m.GEMMLaunch)
+	}
+	// Empty experts still pay their launch (the kernel is still issued).
+	if m.SequentialGEMM([]int{0, 0}, 128, 128) < 2*m.GEMMLaunch {
+		t.Fatal("empty segments should pay launch overhead")
+	}
+}
+
+func TestPaddedGEMMWastesPaddingFLOPs(t *testing.T) {
+	m := mi250x()
+	// 64 experts, capacity 256, but only 128 real tokens per expert: the
+	// padded batched GEMM computes all 256 rows; the sequential GEMM over
+	// the real 128-row segments does half the FLOPs. With large enough
+	// segments (launch overhead amortised) sequential must win.
+	rows := make([]int, 64)
+	for i := range rows {
+		rows[i] = 128
+	}
+	padded := m.BatchedPaddedGEMM(64, 256, 4096, 4096)
+	seq := m.SequentialGEMM(rows, 4096, 4096)
+	if seq >= padded {
+		t.Fatalf("sequential GEMM on half the rows (%.4fs) should beat padded (%.4fs)", seq, padded)
+	}
+}
+
+func TestMaskEinsumIsExpensive(t *testing.T) {
+	m := mi250x()
+	// The conventional dispatch einsum at DeepSeek-ish sizes must dwarf
+	// the Triton gather over the same logical tokens (the 35.7x buffer
+	// dispatch speedup in §5.4.1).
+	s, e, c, h := 2048, 64, 256, 2048
+	einsum := m.MaskEinsum(s, e, c, h)
+	gather := m.MemBound(ClassTriton, int64(2*s*6*h*2)) // read+write k*S tokens at 2B
+	if einsum < 10*gather {
+		t.Fatalf("mask einsum (%.6fs) should be >>10x Triton gather (%.6fs)", einsum, gather)
+	}
+}
+
+func TestMemBoundClassesOrdering(t *testing.T) {
+	m := mi250x()
+	const b = 256 << 20
+	triton := m.MemBound(ClassTriton, b)
+	vendor := m.MemBound(ClassVendor, b)
+	fallback := m.MemBound(ClassFallback, b)
+	if !(triton < vendor && vendor < fallback) {
+		t.Fatalf("kernel class ordering violated: triton %.6f vendor %.6f fallback %.6f",
+			triton, vendor, fallback)
+	}
+}
+
+func TestMemBoundN(t *testing.T) {
+	m := mi250x()
+	one := m.MemBoundN(ClassFallback, 1, 1<<20)
+	many := m.MemBoundN(ClassFallback, 20, 1<<20)
+	if many <= one {
+		t.Fatal("more launches must cost more")
+	}
+	if m.MemBoundN(ClassTriton, 0, 1<<20) != 0 {
+		t.Fatal("zero launches are free")
+	}
+}
+
+func TestQuickGEMMMonotone(t *testing.T) {
+	m := mi250x()
+	f := func(a, b, c uint8) bool {
+		mm, kk, nn := int(a)+1, int(b)+1, int(c)+1
+		return m.GEMM(mm+1, kk, nn) >= m.GEMM(mm, kk, nn) &&
+			m.GEMM(mm, kk+1, nn) >= m.GEMM(mm, kk, nn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSequentialGEMMAdditive(t *testing.T) {
+	m := mi250x()
+	f := func(rows []uint8) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		rs := make([]int, len(rows))
+		var sum float64
+		for i, r := range rows {
+			rs[i] = int(r)
+			sum += m.GEMM(int(r), 256, 256)
+		}
+		got := m.SequentialGEMM(rs, 256, 256)
+		diff := got - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12*float64(len(rows)+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

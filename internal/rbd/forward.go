@@ -1,0 +1,78 @@
+package rbd
+
+import (
+	"xmoe/internal/kernels"
+	"xmoe/internal/moe"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// Forward runs a complete X-MoE MoE layer with RBD transport: gating and
+// PFT construction as in the padding-free pipeline (moe.PFTForward), but
+// with dispatch and combine routed through the hierarchical
+// redundancy-bypassing stages instead of the flat uneven all-to-all.
+func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tensor,
+	routing moe.Routing, params *moe.ExpertParams, pilotRNG *tensor.RNG, opts moe.PipelineOpts) moe.LayerResult {
+
+	h, f := cfg.HModel, cfg.HFFN
+	elem := int64(cfg.BytesPerElem)
+	mem := &r.Dev().Mem
+	comp := r.C.Comp
+
+	// Gate + PFT construction (identical to the PFT pipeline).
+	gateTime := comp.GEMM(s, h, cfg.NumExperts) +
+		comp.MemBoundN(perfmodel.ClassTriton, 6,
+			int64(s*cfg.NumExperts)*elem+int64(s*cfg.TopK)*24)
+	r.Compute(moe.StageGate, gateTime)
+	pft := moe.BuildPFT(routing, cfg.NumExperts, cfg.Capacity(s), opts.DropPolicy)
+	b := pft.B()
+	mem.Alloc("eri", pft.ERIBytes())
+
+	// Dispatch buffer gather.
+	r.Compute(moe.StageDispatch, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*elem))
+	var dispIn *tensor.Tensor
+	if opts.Numeric {
+		dispIn = kernels.Gather(x, pft.TokenIDs)
+	}
+	mem.Alloc("dispatch_in", int64(b)*int64(h)*elem)
+
+	// RBD dispatch (stages 0-2 + expert input reconstruction).
+	st, expertIn := d.Dispatch(r, pft, dispIn, pilotRNG, Opts{Numeric: opts.Numeric})
+
+	// Sequential GEMM experts over the reconstructed uneven segments.
+	bExp := 0
+	for _, c := range st.RowsPerLE {
+		bExp += c
+	}
+	expertTime := comp.SequentialGEMM(st.RowsPerLE, h, f) +
+		comp.SequentialGEMM(st.RowsPerLE, f, h) +
+		comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(f)*elem)
+	r.Compute(moe.StageExperts, expertTime)
+	mem.Alloc("A0_interm", int64(bExp)*int64(f)*elem)
+	mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
+	var expertOut *tensor.Tensor
+	if opts.Numeric {
+		interm := kernels.SequentialGEMM(expertIn, st.RowsPerLE, params.W1)
+		tensor.GeLU(interm)
+		expertOut = kernels.SequentialGEMM(interm, st.RowsPerLE, params.W2)
+	}
+
+	// RBD combine (replica gather, merge, pilot return, reconstruction).
+	out := d.Combine(r, st, expertOut, s, Opts{Numeric: opts.Numeric})
+
+	if !opts.RetainActivations {
+		mem.Free("eri", pft.ERIBytes())
+		mem.Free("dispatch_in", int64(b)*int64(h)*elem)
+		mem.Free("A0_interm", int64(bExp)*int64(f)*elem)
+		mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
+	}
+
+	return moe.LayerResult{
+		Output:       out,
+		PFT:          pft,
+		RoutedTokens: b,
+		RecvTokens:   bExp,
+		Dropped:      pft.Dropped,
+	}
+}

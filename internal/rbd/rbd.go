@@ -1,0 +1,624 @@
+// Package rbd implements X-MoE's Hierarchical Redundancy-Bypassing
+// Dispatch (paper §4.2). With large top-k routing, a token is often sent
+// to several experts that live on the same destination node; conventional
+// dispatch ships one copy per expert across the slow inter-node links. RBD
+// sends a single "pilot" copy per (token, destination node) over the
+// inter-node fabric (Stage 1), reconstructs the remaining "local replica"
+// copies from the pilot at the destination node, and forwards them to
+// their expert's GPU over the fast intra-node links (Stage 2). The combine
+// stage reverses the process, merging replica outputs into the pilot row
+// intra-node (weight scaling included) before one inter-node return trip.
+package rbd
+
+import (
+	"fmt"
+	"sort"
+
+	"xmoe/internal/moe"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// Trace stage names matching the paper's Fig. 12 dispatch breakdown.
+const (
+	StageS1Inst      = "rbd_s1_inst"      // pilot selection + pilot buffer instantiation
+	StageS1A2A       = "rbd_s1_a2a"       // inter-node all-to-all (pilots + metadata)
+	StageS2Inst      = "rbd_s2_inst"      // local replica reconstruction
+	StageS2A2A       = "rbd_s2_a2a"       // intra-node all-to-all (replicas)
+	StageReconstruct = "rbd_reconstruct"  // expert input reconstruction (merge + order)
+	StageC2A2A       = "rbd_comb_s2_a2a"  // combine: intra-node replica gather
+	StageCMerge      = "rbd_comb_merge"   // combine: weight-scale + merge into pilots
+	StageC1A2A       = "rbd_comb_s1_a2a"  // combine: inter-node pilot return
+	StageCScatter    = "rbd_comb_scatter" // combine: final output reconstruction
+)
+
+// PilotPolicy selects which member of a (token, destination-node) group
+// becomes the pilot.
+type PilotPolicy int
+
+const (
+	// PilotRandom picks uniformly at random — the paper's choice, which
+	// "helps avoid a biased distribution and creates a balanced workload
+	// for alltoall communication" (§4.2).
+	PilotRandom PilotPolicy = iota
+	// PilotFirstExpert always picks the lowest expert ID, the biased
+	// strategy the paper warns against; kept for the ablation benchmark.
+	PilotFirstExpert
+)
+
+// Opts configures an RBD dispatch/combine pass.
+type Opts struct {
+	// Numeric moves real float rows; otherwise metadata-only.
+	Numeric bool
+	// Pilots selects the pilot-selection strategy (default PilotRandom).
+	Pilots PilotPolicy
+}
+
+// Dispatcher holds the topology-derived state shared by all ranks of an
+// expert-parallel group: the per-node subgroups used for the intra-node
+// stage. Construct once (outside Cluster.Run) and share.
+type Dispatcher struct {
+	Cfg moe.Config
+	EP  *simrt.Group
+	// EPR is experts per rank.
+	EPR int
+	// nodeOfMember[m] is the machine node of EP member m.
+	nodeOfMember []int
+	// nodeGroups maps node id -> intra-node communicator (EP members on
+	// that node).
+	nodeGroups map[int]*simrt.Group
+	// nodeMembers maps node id -> EP member indices on that node
+	// (ascending).
+	nodeMembers map[int][]int
+}
+
+// NewDispatcher builds the dispatcher for EP group ep on cluster c.
+func NewDispatcher(c *simrt.Cluster, ep *simrt.Group, cfg moe.Config) *Dispatcher {
+	if cfg.NumExperts%ep.Size() != 0 {
+		panic(fmt.Sprintf("rbd: %d experts not divisible by EP size %d", cfg.NumExperts, ep.Size()))
+	}
+	d := &Dispatcher{
+		Cfg:          cfg,
+		EP:           ep,
+		EPR:          cfg.NumExperts / ep.Size(),
+		nodeOfMember: make([]int, ep.Size()),
+		nodeGroups:   map[int]*simrt.Group{},
+		nodeMembers:  map[int][]int{},
+	}
+	for m, rank := range ep.Ranks() {
+		node := c.Machine.NodeOf(rank)
+		d.nodeOfMember[m] = node
+		d.nodeMembers[node] = append(d.nodeMembers[node], m)
+	}
+	for node, members := range d.nodeMembers {
+		ranks := make([]int, len(members))
+		for i, m := range members {
+			ranks[i] = ep.Ranks()[m]
+		}
+		d.nodeGroups[node] = c.NewGroup(ranks)
+	}
+	return d
+}
+
+// memberOfExpert returns the EP member owning global expert e.
+func (d *Dispatcher) memberOfExpert(e int) int { return e / d.EPR }
+
+// NodeOfExpert returns the machine node hosting global expert e.
+func (d *Dispatcher) NodeOfExpert(e int) int { return d.nodeOfMember[d.memberOfExpert(e)] }
+
+// replicaMeta describes one local replica travelling (as metadata only)
+// alongside its pilot in Stage 1.
+type replicaMeta struct {
+	// pilotRel is the replica's pilot row index, relative to the pilot
+	// part it travels with (re-encoded to an absolute index after the
+	// exchange, as in the paper).
+	pilotRel int
+	// expert is the replica's destination expert (determines the Stage-2
+	// destination GPU).
+	expert int
+	// weight is the replica's combine weight.
+	weight float32
+}
+
+// s1Meta is the metadata attached to each Stage-1 pilot part.
+type s1Meta struct {
+	// counts[le] is the number of pilot rows destined to local expert le
+	// of the receiving rank.
+	counts []int
+	// weights[i] is the combine weight of pilot row i in this part.
+	weights []float32
+	// replicas lists this part's local replicas.
+	replicas []replicaMeta
+}
+
+func (m s1Meta) bytes() int64 {
+	return int64(len(m.counts))*8 + int64(len(m.weights))*4 + int64(len(m.replicas))*16
+}
+
+// rowRef locates one expert-input row's origin for the combine reversal.
+type rowRef struct {
+	pilot bool
+	// For pilots: absolute row in the received pilot buffer. For
+	// replicas: the Stage-2 part (node-group member index) and position.
+	abs  int
+	part int
+	pos  int
+}
+
+// s2Sent records, on the pilot-holding rank, where each Stage-2 replica
+// row must merge back during combine.
+type s2Sent struct {
+	pilotAbs int
+	weight   float32
+}
+
+// State carries the per-rank dispatch bookkeeping the combine stage needs.
+type State struct {
+	// Source side.
+	pft        *moe.PFT
+	pilotEntry []int // PFT entry index of each sent pilot, send order
+	// Destination side.
+	recvPilotCounts [][]int     // [src][localExpert]
+	recvPilotW      [][]float32 // [src] weights aligned with part rows
+	pilotPartOff    []int       // absolute offset of each src's pilot part
+	pilotRowsTotal  int
+	pilotRows       *tensor.Tensor // received pilot payload (numeric)
+	s2SentByMember  [][]s2Sent     // [nodeMember][pos] merge targets
+	s2RecvCount     []int          // rows received from each node member
+	s2RecvMeta      [][]replicaMeta
+	// ExpertRowsPerLE[le] lists the origin of each row of local expert
+	// le's input, in buffer order.
+	expertRows [][]rowRef
+	// RowsPerLE is the expert input segmentation for the sequential GEMM.
+	RowsPerLE []int
+	// node group used for stage 2
+	nodeGroup *simrt.Group
+}
+
+// Dispatch runs RBD stages 0-2 for rank r: pilot selection, inter-node
+// pilot exchange with replica metadata, replica reconstruction, intra-node
+// replica exchange, and expert input reconstruction. dispIn is the [B, H]
+// PFT-ordered token buffer (nil in symbolic mode); rng drives the
+// randomized pilot selection (paper: random choice balances the
+// all-to-all). It returns the combine state, the expert-major input buffer
+// (numeric mode), and fills State.RowsPerLE.
+func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor, rng *tensor.RNG, opts Opts) (*State, *tensor.Tensor) {
+	h := d.Cfg.HModel
+	elem := int64(d.Cfg.BytesPerElem)
+	p := d.EP.Size()
+	me := d.EP.IndexOf(r.ID)
+	myNode := d.nodeOfMember[me]
+	nodeGroup := d.nodeGroups[myNode]
+	comp := r.C.Comp
+	mem := &r.Dev().Mem
+
+	st := &State{pft: pft, nodeGroup: nodeGroup}
+	b := pft.B()
+
+	// --- Stage 0: pilot selection -----------------------------------------
+	// Group PFT entries by (token, destination node); pick one pilot per
+	// group at random, the rest become replicas referencing it.
+	type groupKey struct{ token, node int }
+	groups := map[groupKey][]int{}
+	for i := 0; i < b; i++ {
+		key := groupKey{pft.TokenIDs[i], d.NodeOfExpert(pft.ExpertIDs[i])}
+		groups[key] = append(groups[key], i)
+	}
+	isPilot := make([]bool, b)
+	pilotOf := make([]int, b) // replica entry -> pilot entry
+	for _, idxs := range groups {
+		chosen := idxs[0] // PFT is expert-major, so idxs[0] is the lowest expert
+		if opts.Pilots == PilotRandom && len(idxs) > 1 {
+			chosen = idxs[rng.Intn(len(idxs))]
+		}
+		for _, i := range idxs {
+			isPilot[i] = chosen == i
+			pilotOf[i] = chosen
+		}
+	}
+
+	// Pilot send order: PFT (expert-major) order restricted to pilots,
+	// so per-destination parts are contiguous and expert-sorted.
+	pilotEntry := make([]int, 0, len(groups))
+	pilotSendPos := make(map[int]int, len(groups)) // entry -> global send pos
+	for i := 0; i < b; i++ {
+		if isPilot[i] {
+			pilotSendPos[i] = len(pilotEntry)
+			pilotEntry = append(pilotEntry, i)
+		}
+	}
+	st.pilotEntry = pilotEntry
+
+	// Build per-destination parts.
+	partStart := make([]int, p+1) // pilot send-order boundaries per member
+	{
+		cur := 0
+		for dst := 0; dst < p; dst++ {
+			partStart[dst] = cur
+			for cur < len(pilotEntry) && d.memberOfExpert(pft.ExpertIDs[pilotEntry[cur]]) == dst {
+				cur++
+			}
+		}
+		partStart[p] = len(pilotEntry)
+	}
+
+	metas := make([]s1Meta, p)
+	for dst := 0; dst < p; dst++ {
+		n := partStart[dst+1] - partStart[dst]
+		metas[dst] = s1Meta{counts: make([]int, d.EPR), weights: make([]float32, n)}
+		for pos := 0; pos < n; pos++ {
+			ent := pilotEntry[partStart[dst]+pos]
+			metas[dst].counts[pft.ExpertIDs[ent]-dst*d.EPR]++
+			metas[dst].weights[pos] = pft.CombineWeights[ent]
+		}
+	}
+	replicaCount := 0
+	for i := 0; i < b; i++ {
+		if isPilot[i] {
+			continue
+		}
+		replicaCount++
+		pe := pilotOf[i]
+		dst := d.memberOfExpert(pft.ExpertIDs[pe])
+		metas[dst].replicas = append(metas[dst].replicas, replicaMeta{
+			pilotRel: pilotSendPos[pe] - partStart[dst],
+			expert:   pft.ExpertIDs[i],
+			weight:   pft.CombineWeights[i],
+		})
+	}
+
+	// Pilot buffer instantiation (Triton gather over pilot rows).
+	r.Compute(StageS1Inst, comp.MemBound(perfmodel.ClassTriton, 2*int64(len(pilotEntry))*int64(h)*elem))
+	var pilotBuf *tensor.Tensor
+	if opts.Numeric {
+		pilotBuf = tensor.New(len(pilotEntry), h)
+		for sp, ent := range pilotEntry {
+			copy(pilotBuf.Row(sp), dispIn.Row(ent))
+		}
+	}
+	mem.Alloc("rbd_pilot_send", int64(len(pilotEntry))*int64(h)*elem)
+
+	// --- Stage 1: inter-node exchange (pilots + metadata) ------------------
+	send := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		lo, hi := partStart[dst], partStart[dst+1]
+		part := simrt.Part{Meta: metas[dst], Bytes: int64(hi-lo)*int64(h)*elem + metas[dst].bytes()}
+		if opts.Numeric && hi > lo {
+			part.Data = pilotBuf.Data[lo*h : hi*h]
+		}
+		send[dst] = part
+	}
+	recv := r.AlltoAllV(d.EP, StageS1A2A, send)
+
+	st.recvPilotCounts = make([][]int, p)
+	st.recvPilotW = make([][]float32, p)
+	st.pilotPartOff = make([]int, p)
+	recvMetas := make([]s1Meta, p)
+	total := 0
+	for src, part := range recv {
+		m := part.Meta.(s1Meta)
+		recvMetas[src] = m
+		st.recvPilotCounts[src] = m.counts
+		st.recvPilotW[src] = m.weights
+		st.pilotPartOff[src] = total
+		total += len(m.weights)
+	}
+	st.pilotRowsTotal = total
+	mem.Alloc("rbd_pilot_recv", int64(total)*int64(h)*elem)
+	if opts.Numeric {
+		st.pilotRows = tensor.New(total, h)
+		for src, part := range recv {
+			if len(part.Data) > 0 {
+				copy(st.pilotRows.Data[st.pilotPartOff[src]*h:], part.Data)
+			}
+		}
+	}
+
+	// --- Replica reconstruction + Stage 2 intra-node exchange --------------
+	// Group incoming replicas by their destination member within this
+	// node, ordered by ascending expert id (the paper's contiguous,
+	// destination-ordered local exchange buffer).
+	nodeMembers := d.nodeMembers[myNode]
+	memberSlot := make(map[int]int, len(nodeMembers)) // EP member -> node-group slot
+	for slot, m := range nodeMembers {
+		memberSlot[m] = slot
+	}
+	type stagedReplica struct {
+		pilotAbs int
+		meta     replicaMeta
+	}
+	staged := make([][]stagedReplica, len(nodeMembers))
+	nReplicasIn := 0
+	for src := range recv {
+		for _, rm := range recvMetas[src].replicas {
+			abs := st.pilotPartOff[src] + rm.pilotRel // re-encode to absolute
+			dm := d.memberOfExpert(rm.expert)
+			slot, ok := memberSlot[dm]
+			if !ok {
+				panic(fmt.Sprintf("rbd: replica for expert %d routed off-node", rm.expert))
+			}
+			staged[slot] = append(staged[slot], stagedReplica{pilotAbs: abs, meta: rm})
+			nReplicasIn++
+		}
+	}
+	// Stable order by expert id within each destination (the paper keeps
+	// the local exchange buffer contiguous and expert-ordered).
+	for slot := range staged {
+		s := staged[slot]
+		sort.SliceStable(s, func(a, b int) bool { return s[a].meta.expert < s[b].meta.expert })
+	}
+	r.Compute(StageS2Inst, comp.MemBound(perfmodel.ClassTriton, 2*int64(nReplicasIn)*int64(h)*elem))
+	mem.Alloc("rbd_s2_send", int64(nReplicasIn)*int64(h)*elem)
+
+	st.s2SentByMember = make([][]s2Sent, len(nodeMembers))
+	s2Send := make([]simrt.Part, len(nodeMembers))
+	for slot := range staged {
+		rows := staged[slot]
+		meta := make([]replicaMeta, len(rows))
+		sent := make([]s2Sent, len(rows))
+		var data []float32
+		if opts.Numeric {
+			data = make([]float32, len(rows)*h)
+		}
+		for pos, sr := range rows {
+			meta[pos] = sr.meta
+			sent[pos] = s2Sent{pilotAbs: sr.pilotAbs, weight: sr.meta.weight}
+			if opts.Numeric {
+				copy(data[pos*h:(pos+1)*h], st.pilotRows.Row(sr.pilotAbs))
+			}
+		}
+		st.s2SentByMember[slot] = sent
+		s2Send[slot] = simrt.Part{
+			Data:  data,
+			Meta:  meta,
+			Bytes: int64(len(rows))*int64(h)*elem + int64(len(rows))*16,
+		}
+	}
+	s2Recv := r.AlltoAllV(nodeGroup, StageS2A2A, s2Send)
+
+	st.s2RecvCount = make([]int, len(nodeMembers))
+	st.s2RecvMeta = make([][]replicaMeta, len(nodeMembers))
+	nReplicaRows := 0
+	for src, part := range s2Recv {
+		m := part.Meta.([]replicaMeta)
+		st.s2RecvMeta[src] = m
+		st.s2RecvCount[src] = len(m)
+		nReplicaRows += len(m)
+	}
+	mem.Alloc("rbd_s2_recv", int64(nReplicaRows)*int64(h)*elem)
+
+	// --- Expert input reconstruction ---------------------------------------
+	// Merge pilots destined to my experts with received replicas, grouped
+	// per local expert.
+	st.expertRows = make([][]rowRef, d.EPR)
+	st.RowsPerLE = make([]int, d.EPR)
+	for src := 0; src < p; src++ {
+		pos := 0
+		for le := 0; le < d.EPR; le++ {
+			c := st.recvPilotCounts[src][le]
+			for i := 0; i < c; i++ {
+				st.expertRows[le] = append(st.expertRows[le],
+					rowRef{pilot: true, abs: st.pilotPartOff[src] + pos})
+				pos++
+			}
+		}
+	}
+	for src := range s2Recv {
+		for pos, rm := range st.s2RecvMeta[src] {
+			le := rm.expert - me*d.EPR
+			if le < 0 || le >= d.EPR {
+				panic(fmt.Sprintf("rbd: stage-2 replica for expert %d landed on wrong rank", rm.expert))
+			}
+			st.expertRows[le] = append(st.expertRows[le], rowRef{part: src, pos: pos})
+		}
+	}
+	totalRows := 0
+	for le := range st.expertRows {
+		st.RowsPerLE[le] = len(st.expertRows[le])
+		totalRows += st.RowsPerLE[le]
+	}
+	r.Compute(StageReconstruct, comp.MemBound(perfmodel.ClassTriton, 2*int64(totalRows)*int64(h)*elem))
+	mem.Alloc("rbd_expert_in", int64(totalRows)*int64(h)*elem)
+
+	var expertIn *tensor.Tensor
+	if opts.Numeric {
+		expertIn = tensor.New(totalRows, h)
+		row := 0
+		for le := range st.expertRows {
+			for _, ref := range st.expertRows[le] {
+				var src []float32
+				if ref.pilot {
+					src = st.pilotRows.Row(ref.abs)
+				} else {
+					src = s2Recv[ref.part].Data[ref.pos*h : (ref.pos+1)*h]
+				}
+				copy(expertIn.Row(row), src)
+				row++
+			}
+		}
+	}
+	return st, expertIn
+}
+
+// Combine reverses RBD for rank r: replica expert-outputs return to the
+// pilot's rank intra-node, are weight-scaled and merged into the pilot
+// rows, and one inter-node all-to-all returns the merged partial sums to
+// the source rank, which accumulates them into the [s, H] layer output.
+// expertOut must be row-aligned with the buffer returned by Dispatch.
+func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor, s int, opts Opts) *tensor.Tensor {
+	h := d.Cfg.HModel
+	elem := int64(d.Cfg.BytesPerElem)
+	p := d.EP.Size()
+	comp := r.C.Comp
+	mem := &r.Dev().Mem
+
+	// Split expert outputs back into pilot-aligned and replica-aligned
+	// rows.
+	var pilotOut *tensor.Tensor
+	replicaOut := make([][]float32, len(st.s2RecvCount))
+	if opts.Numeric {
+		pilotOut = tensor.New(st.pilotRowsTotal, h)
+		for src := range replicaOut {
+			replicaOut[src] = make([]float32, st.s2RecvCount[src]*h)
+		}
+		row := 0
+		for le := range st.expertRows {
+			for _, ref := range st.expertRows[le] {
+				out := expertOut.Row(row)
+				if ref.pilot {
+					copy(pilotOut.Row(ref.abs), out)
+				} else {
+					copy(replicaOut[ref.part][ref.pos*h:(ref.pos+1)*h], out)
+				}
+				row++
+			}
+		}
+	}
+
+	// --- Combine stage 2 (intra-node): return replica outputs --------------
+	nodeGroup := st.nodeGroup
+	s2Send := make([]simrt.Part, nodeGroup.Size())
+	for slot := 0; slot < nodeGroup.Size(); slot++ {
+		n := st.s2RecvCount[slot]
+		part := simrt.Part{Bytes: int64(n) * int64(h) * elem}
+		if opts.Numeric {
+			part.Data = replicaOut[slot]
+		}
+		s2Send[slot] = part
+	}
+	s2Back := r.AlltoAllV(nodeGroup, StageC2A2A, s2Send)
+
+	// --- Merge replicas into pilots (weight scaling happens here) ----------
+	nMerge := 0
+	for _, sent := range st.s2SentByMember {
+		nMerge += len(sent)
+	}
+	r.Compute(StageCMerge, comp.MemBound(perfmodel.ClassTriton,
+		2*int64(nMerge+st.pilotRowsTotal)*int64(h)*elem))
+	var merged *tensor.Tensor
+	if opts.Numeric {
+		merged = tensor.New(st.pilotRowsTotal, h)
+		// Pilot rows scaled by their own combine weights.
+		for src := range st.recvPilotW {
+			for pos, w := range st.recvPilotW[src] {
+				abs := st.pilotPartOff[src] + pos
+				out := pilotOut.Row(abs)
+				dst := merged.Row(abs)
+				for j, v := range out {
+					dst[j] = w * v
+				}
+			}
+		}
+		for slot, sent := range st.s2SentByMember {
+			data := s2Back[slot].Data
+			for pos, sRec := range sent {
+				src := data[pos*h : (pos+1)*h]
+				dst := merged.Row(sRec.pilotAbs)
+				for j, v := range src {
+					dst[j] += sRec.weight * v
+				}
+			}
+		}
+	}
+	mem.Alloc("rbd_merged", int64(st.pilotRowsTotal)*int64(h)*elem)
+
+	// --- Combine stage 1 (inter-node): return merged pilot rows ------------
+	sendBack := make([]simrt.Part, p)
+	for src := 0; src < p; src++ {
+		n := len(st.recvPilotW[src])
+		part := simrt.Part{Bytes: int64(n) * int64(h) * elem}
+		if opts.Numeric && n > 0 {
+			part.Data = merged.Data[st.pilotPartOff[src]*h : (st.pilotPartOff[src]+n)*h]
+		}
+		sendBack[src] = part
+	}
+	back := r.AlltoAllV(d.EP, StageC1A2A, sendBack)
+
+	// --- Final reconstruction on the source rank ----------------------------
+	r.Compute(StageCScatter, comp.MemBound(perfmodel.ClassTriton,
+		2*int64(len(st.pilotEntry))*int64(h)*elem))
+	mem.Alloc("output", int64(s)*int64(h)*elem)
+	if !opts.Numeric {
+		return nil
+	}
+	out := tensor.New(s, h)
+	// Parts return in member order; rows align with the pilot send order.
+	pos := make([]int, p)
+	for _, ent := range st.pilotEntry {
+		dst := d.memberOfExpert(st.pft.ExpertIDs[ent])
+		data := back[dst].Data
+		rowStart := pos[dst] * h
+		pos[dst]++
+		dstRow := out.Row(st.pft.TokenIDs[ent])
+		for j := 0; j < h; j++ {
+			dstRow[j] += data[rowStart+j]
+		}
+	}
+	return out
+}
+
+// Redundancy analyses a routing against an expert->node placement: total
+// dispatched copies, how many are redundant (would duplicate another copy
+// of the same token to the same node), and how many cross node boundaries.
+type Redundancy struct {
+	Total      int
+	Redundant  int
+	InterNode  int // copies whose destination node differs from source
+	PilotInter int // pilots crossing node boundaries (RBD's inter-node volume)
+}
+
+// Rate returns the redundant fraction of all dispatched copies (paper
+// Fig. 4).
+func (r Redundancy) Rate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Redundant) / float64(r.Total)
+}
+
+// AnalyzeRedundancy computes redundancy for routing r where expert e lives
+// on node nodeOfExpert(e) and the source rank lives on srcNode.
+func AnalyzeRedundancy(rt moe.Routing, nodeOfExpert func(int) int, srcNode int) Redundancy {
+	var red Redundancy
+	for t := 0; t < rt.S; t++ {
+		nodesSeen := map[int]bool{}
+		for _, e := range rt.TopExperts[t] {
+			red.Total++
+			node := nodeOfExpert(e)
+			if node != srcNode {
+				red.InterNode++
+			}
+			if nodesSeen[node] {
+				red.Redundant++
+			} else {
+				nodesSeen[node] = true
+				if node != srcNode {
+					red.PilotInter++
+				}
+			}
+		}
+	}
+	return red
+}
+
+// ExpectedRedundancyRate returns the closed-form redundancy rate for
+// uniform top-k routing over E experts spread evenly across n nodes:
+// 1 - n/k * (1 - C(E-E/n, k)/C(E, k)), the hypergeometric expectation of
+// distinct destination nodes divided by k.
+func ExpectedRedundancyRate(e, k, nodes int) float64 {
+	if nodes <= 0 || k <= 0 {
+		return 0
+	}
+	perNode := float64(e) / float64(nodes)
+	// P(no expert on a given node) = prod_{i=0..k-1} (E - perNode - i) / (E - i)
+	pNone := 1.0
+	for i := 0; i < k; i++ {
+		pNone *= (float64(e) - perNode - float64(i)) / (float64(e) - float64(i))
+	}
+	expectedNodes := float64(nodes) * (1 - pNone)
+	if expectedNodes > float64(k) {
+		expectedNodes = float64(k)
+	}
+	return 1 - expectedNodes/float64(k)
+}

@@ -1,0 +1,291 @@
+// Package simrt is the simulated distributed runtime the X-MoE
+// reproduction executes on. It replaces the GPU cluster the paper used
+// (Frontier nodes running one training process per GCD) with one goroutine
+// per rank inside a single address space:
+//
+//   - Collectives move real payloads between rank goroutines through a
+//     rendezvous, so correctness properties (dispatch/combine equivalence,
+//     RBD reconstruction) are testable end to end.
+//   - Every rank carries a virtual clock. Compute ops advance it by times
+//     from internal/perfmodel; collectives synchronise participants to
+//     max(entry clocks) + a time from internal/netsim (BSP semantics).
+//   - Every rank carries a memory tracker; pipelines register their buffer
+//     allocations so per-device peak memory and OOM verdicts reproduce the
+//     paper's trainability results.
+package simrt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"xmoe/internal/netsim"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/topology"
+	"xmoe/internal/trace"
+)
+
+// MemTracker accounts simulated device memory for one rank. All sizes are
+// bytes. It is safe for concurrent use.
+type MemTracker struct {
+	mu    sync.Mutex
+	cur   int64
+	peak  int64
+	byTag map[string]int64
+}
+
+// Alloc records an allocation of n bytes under the given tag.
+func (m *MemTracker) Alloc(tag string, n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("simrt: negative allocation %d (%s)", n, tag))
+	}
+	m.mu.Lock()
+	if m.byTag == nil {
+		m.byTag = map[string]int64{}
+	}
+	m.cur += n
+	m.byTag[tag] += n
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+	m.mu.Unlock()
+}
+
+// Free records a release of n bytes under the given tag.
+func (m *MemTracker) Free(tag string, n int64) {
+	m.mu.Lock()
+	m.cur -= n
+	if m.byTag != nil {
+		m.byTag[tag] -= n
+	}
+	m.mu.Unlock()
+}
+
+// Current returns the live allocation in bytes.
+func (m *MemTracker) Current() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Peak returns the high-water mark in bytes.
+func (m *MemTracker) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// ByTag returns a copy of the live allocation per tag.
+func (m *MemTracker) ByTag() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byTag))
+	for k, v := range m.byTag {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all accounting.
+func (m *MemTracker) Reset() {
+	m.mu.Lock()
+	m.cur, m.peak, m.byTag = 0, 0, map[string]int64{}
+	m.mu.Unlock()
+}
+
+// Device is the simulated GPU attached to one rank.
+type Device struct {
+	// Mem tracks simulated HBM usage.
+	Mem MemTracker
+	// Profile describes the device's capability.
+	Profile topology.DeviceProfile
+}
+
+// OOM reports whether the device's peak allocation exceeded its capacity.
+func (d *Device) OOM() bool { return d.Mem.Peak() > d.Profile.MemBytes }
+
+// Cluster is a simulated machine partition: NumRanks ranks laid out on the
+// machine topology, sharing a network simulator and a compute model.
+type Cluster struct {
+	Machine  *topology.Machine
+	Net      *netsim.Network
+	Comp     *perfmodel.Model
+	NumRanks int
+	devices  []*Device
+}
+
+// NewCluster creates a cluster of n ranks on machine m, seeding the
+// network simulator's congestion sampler with seed.
+func NewCluster(m *topology.Machine, n int, seed uint64) *Cluster {
+	devs := make([]*Device, n)
+	for i := range devs {
+		devs[i] = &Device{Profile: m.Device}
+	}
+	net := netsim.New(m, seed)
+	net.JobRanks = n
+	return &Cluster{
+		Machine:  m,
+		Net:      net,
+		Comp:     perfmodel.ForDevice(m.Device),
+		NumRanks: n,
+		devices:  devs,
+	}
+}
+
+// Device returns the device of global rank r.
+func (c *Cluster) Device(r int) *Device { return c.devices[r] }
+
+// Rank is the per-goroutine execution context handed to the SPMD body.
+type Rank struct {
+	// ID is the global rank index in [0, NumRanks).
+	ID int
+	// C is the owning cluster.
+	C *Cluster
+	// Clock is the rank's virtual time in seconds.
+	Clock float64
+	// Trace records per-stage durations on this rank.
+	Trace *trace.Recorder
+}
+
+// Dev returns this rank's device.
+func (r *Rank) Dev() *Device { return r.C.devices[r.ID] }
+
+// Compute advances the rank's clock by dur seconds, recording the span
+// under name.
+func (r *Rank) Compute(name string, dur float64) {
+	if dur < 0 {
+		panic(fmt.Sprintf("simrt: negative compute duration %g (%s)", dur, name))
+	}
+	r.Trace.Record(name, r.Clock, dur)
+	r.Clock += dur
+}
+
+// GEMM models one [m,k]x[k,n] matmul on this rank's device.
+func (r *Rank) GEMM(name string, m, k, n int) {
+	r.Compute(name, r.C.Comp.GEMM(m, k, n))
+}
+
+// Kernel models one bandwidth-bound kernel of the given class moving the
+// given bytes.
+func (r *Rank) Kernel(name string, class perfmodel.KernelClass, bytes int64) {
+	r.Compute(name, r.C.Comp.MemBound(class, bytes))
+}
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all to finish. It returns the combined error of all failing ranks. Rank
+// panics are converted to errors so a failing SPMD body cannot deadlock
+// the harness (panics in collectives may still leave peers blocked, so
+// tests should treat any error as fatal).
+func (c *Cluster) Run(fn func(r *Rank) error) error {
+	errs := make([]error, c.NumRanks)
+	var wg sync.WaitGroup
+	for i := 0; i < c.NumRanks; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("rank %d panicked: %v", id, p)
+				}
+			}()
+			rank := &Rank{ID: id, C: c, Trace: &trace.Recorder{}}
+			errs[id] = fn(rank)
+		}(i)
+	}
+	wg.Wait()
+	var nonNil []error
+	for _, e := range errs {
+		if e != nil {
+			nonNil = append(nonNil, e)
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+// RunCollect executes fn once per rank like Run but also returns each
+// rank's final context (clock and trace) for harness-side aggregation.
+func (c *Cluster) RunCollect(fn func(r *Rank) error) ([]*Rank, error) {
+	ranks := make([]*Rank, c.NumRanks)
+	err := c.Run(func(r *Rank) error {
+		ranks[r.ID] = r
+		return fn(r)
+	})
+	return ranks, err
+}
+
+// MaxClock returns the largest clock among ranks — the simulated
+// wall-clock time of the SPMD program.
+func MaxClock(ranks []*Rank) float64 {
+	var m float64
+	for _, r := range ranks {
+		if r != nil && r.Clock > m {
+			m = r.Clock
+		}
+	}
+	return m
+}
+
+// PeakMemory returns the maximum per-device peak across the cluster,
+// matching the paper's "maximum memory usage across all ranks" metric.
+func (c *Cluster) PeakMemory() int64 {
+	var m int64
+	for _, d := range c.devices {
+		if p := d.Mem.Peak(); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// AnyOOM reports whether any device exceeded its memory capacity.
+func (c *Cluster) AnyOOM() bool {
+	for _, d := range c.devices {
+		if d.OOM() {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetMemory clears all devices' memory accounting.
+func (c *Cluster) ResetMemory() {
+	for _, d := range c.devices {
+		d.Mem.Reset()
+	}
+}
+
+// NewGroup creates a communicator over the given global ranks (order is
+// normalised to ascending). The same *Group value must be shared by all
+// member ranks.
+func (c *Cluster) NewGroup(ranks []int) *Group {
+	rs := make([]int, len(ranks))
+	copy(rs, ranks)
+	sort.Ints(rs)
+	idx := make(map[int]int, len(rs))
+	for i, r := range rs {
+		if r < 0 || r >= c.NumRanks {
+			panic(fmt.Sprintf("simrt: rank %d outside cluster of %d", r, c.NumRanks))
+		}
+		if _, dup := idx[r]; dup {
+			panic(fmt.Sprintf("simrt: duplicate rank %d in group", r))
+		}
+		idx[r] = i
+	}
+	return &Group{
+		c:       c,
+		ranks:   rs,
+		index:   idx,
+		counter: make([]uint64, len(rs)),
+		pending: map[uint64]*rendezvous{},
+	}
+}
+
+// WorldGroup returns a communicator over all ranks.
+func (c *Cluster) WorldGroup() *Group {
+	all := make([]int, c.NumRanks)
+	for i := range all {
+		all[i] = i
+	}
+	return c.NewGroup(all)
+}

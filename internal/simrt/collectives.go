@@ -1,0 +1,182 @@
+package simrt
+
+import (
+	"fmt"
+
+	"xmoe/internal/netsim"
+)
+
+// Part is one rank's contribution to (or share of) a collective payload.
+// Data carries real numbers in numeric mode and is nil in symbolic mode;
+// Meta carries routing metadata (e.g. ERI-array segments) that travels
+// with the payload; Bytes is the modeled wire size and must always be set
+// (it is what the network simulator charges).
+type Part struct {
+	Data  []float32
+	Meta  any
+	Bytes int64
+}
+
+// a2avEntry is one rank's deposit for an all-to-all-v.
+type a2avEntry struct {
+	parts []Part // destination-indexed
+}
+
+type a2avResult struct {
+	cost netsim.Cost
+	// recv[dst][src] is the part sent by member src to member dst.
+	recv [][]Part
+}
+
+// AlltoAllV exchanges uneven per-destination parts among the group: send
+// must have one Part per member (send[j] goes to member j, including
+// self). It returns the parts this rank received, indexed by source
+// member. The modeled time is charged to every member's clock; traffic is
+// charged per link class by the network simulator.
+func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
+	if len(send) != g.Size() {
+		panic(fmt.Sprintf("simrt: AlltoAllV send has %d parts for group of %d", len(send), g.Size()))
+	}
+	start := r.Clock
+	res := g.collect(r, a2avEntry{parts: send}, func(entries []any, _ []float64) any {
+		p := len(entries)
+		bytes := make([][]int64, p)
+		recv := make([][]Part, p)
+		for d := range recv {
+			recv[d] = make([]Part, p)
+		}
+		for s, e := range entries {
+			ent := e.(a2avEntry)
+			bytes[s] = make([]int64, p)
+			for d, part := range ent.parts {
+				bytes[s][d] = part.Bytes
+				recv[d][s] = part
+			}
+		}
+		cost := g.c.Net.AlltoAllV(g.ranks, bytes)
+		return a2avResult{cost: cost, recv: recv}
+	}).(a2avResult)
+	r.Clock += res.cost.Seconds
+	r.Trace.Record(name, start, r.Clock-start)
+	return res.recv[g.IndexOf(r.ID)]
+}
+
+// AlltoAllVCost returns the netsim cost of the most recent equivalent
+// exchange without performing it; used by analysis harnesses. It is a
+// convenience over Net.AlltoAllV for callers that already hold the byte
+// matrix.
+func (c *Cluster) AlltoAllVCost(ranks []int, bytes [][]int64) netsim.Cost {
+	return c.Net.AlltoAllV(ranks, bytes)
+}
+
+type allReduceEntry struct {
+	data  []float32
+	bytes int64
+}
+
+type allReduceResult struct {
+	cost netsim.Cost
+	sum  []float32
+}
+
+// AllReduce sums each member's data elementwise (when non-nil) and charges
+// the modeled ring-allreduce time for the given per-rank byte size. The
+// returned slice is shared by all members and must not be mutated.
+func (r *Rank) AllReduce(g *Group, name string, data []float32, bytes int64) []float32 {
+	start := r.Clock
+	res := g.collect(r, allReduceEntry{data: data, bytes: bytes}, func(entries []any, _ []float64) any {
+		var maxBytes int64
+		var sum []float32
+		for _, e := range entries {
+			ent := e.(allReduceEntry)
+			if ent.bytes > maxBytes {
+				maxBytes = ent.bytes
+			}
+			if ent.data != nil {
+				if sum == nil {
+					sum = make([]float32, len(ent.data))
+				}
+				for i, v := range ent.data {
+					sum[i] += v
+				}
+			}
+		}
+		return allReduceResult{cost: g.c.Net.AllReduce(g.ranks, maxBytes), sum: sum}
+	}).(allReduceResult)
+	r.Clock += res.cost.Seconds
+	r.Trace.Record(name, start, r.Clock-start)
+	return res.sum
+}
+
+type allGatherResult struct {
+	cost  netsim.Cost
+	parts []Part
+}
+
+// AllGather gathers one part from every member; all members receive the
+// full list indexed by member. The returned parts are shared and must not
+// be mutated.
+func (r *Rank) AllGather(g *Group, name string, part Part) []Part {
+	start := r.Clock
+	res := g.collect(r, part, func(entries []any, _ []float64) any {
+		parts := make([]Part, len(entries))
+		bytes := make([]int64, len(entries))
+		for i, e := range entries {
+			parts[i] = e.(Part)
+			bytes[i] = parts[i].Bytes
+		}
+		return allGatherResult{cost: g.c.Net.AllGather(g.ranks, bytes), parts: parts}
+	}).(allGatherResult)
+	r.Clock += res.cost.Seconds
+	r.Trace.Record(name, start, r.Clock-start)
+	return res.parts
+}
+
+type bcastResult struct {
+	cost netsim.Cost
+	part Part
+}
+
+// Broadcast distributes root's part (root is a member index) to all
+// members and returns it.
+func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
+	start := r.Clock
+	res := g.collect(r, part, func(entries []any, _ []float64) any {
+		p := entries[rootIdx].(Part)
+		return bcastResult{cost: g.c.Net.Broadcast(g.ranks, p.Bytes), part: p}
+	}).(bcastResult)
+	r.Clock += res.cost.Seconds
+	r.Trace.Record(name, start, r.Clock-start)
+	return res.part
+}
+
+// Barrier synchronises all members' clocks.
+func (r *Rank) Barrier(g *Group) {
+	start := r.Clock
+	res := g.collect(r, nil, func(entries []any, _ []float64) any {
+		return g.c.Net.Barrier(g.ranks)
+	}).(netsim.Cost)
+	r.Clock += res.Seconds
+	r.Trace.Record("barrier", start, r.Clock-start)
+}
+
+// ExchangeCounts performs the small metadata all-to-all that precedes an
+// uneven payload exchange (the tokens_per_expert exchange in Listing 1,
+// line 44): each member sends counts[j] (one int64 per destination) and
+// receives the values destined to it, indexed by source. Wire size is 8
+// bytes per count.
+func (r *Rank) ExchangeCounts(g *Group, name string, counts []int64) []int64 {
+	if len(counts) != g.Size() {
+		panic(fmt.Sprintf("simrt: ExchangeCounts has %d counts for group of %d", len(counts), g.Size()))
+	}
+	send := make([]Part, g.Size())
+	for j, v := range counts {
+		send[j] = Part{Meta: v, Bytes: 8}
+	}
+	recv := r.AlltoAllV(g, name, send)
+	out := make([]int64, g.Size())
+	for s, p := range recv {
+		out[s] = p.Meta.(int64)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package simrt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Group is a communicator: an ordered set of ranks that perform
+// collectives together. Collective calls on a group must be issued in the
+// same order by every member (SPMD discipline), as on a real NCCL/RCCL
+// communicator.
+type Group struct {
+	c     *Cluster
+	ranks []int
+	index map[int]int
+
+	mu      sync.Mutex
+	counter []uint64 // per-member collective sequence number
+	pending map[uint64]*rendezvous
+}
+
+// Size returns the number of member ranks.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns the member ranks in ascending global order. The slice must
+// not be mutated.
+func (g *Group) Ranks() []int { return g.ranks }
+
+// IndexOf returns the member index of global rank r, panicking if r is not
+// a member.
+func (g *Group) IndexOf(r int) int {
+	i, ok := g.index[r]
+	if !ok {
+		panic(fmt.Sprintf("simrt: rank %d not in group %v", r, g.ranks))
+	}
+	return i
+}
+
+// Contains reports whether global rank r is a member.
+func (g *Group) Contains(r int) bool {
+	_, ok := g.index[r]
+	return ok
+}
+
+// rendezvous is the meeting point for one collective call: every member
+// deposits its contribution and entry clock; the last arriver runs the
+// reducer once; everyone leaves with the shared result.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	left    int
+	done    bool
+	entries []any
+	clocks  []float64
+	result  any
+}
+
+func newRendezvous(n int) *rendezvous {
+	rv := &rendezvous{entries: make([]any, n), clocks: make([]float64, n)}
+	rv.cond = sync.NewCond(&rv.mu)
+	return rv
+}
+
+// collect runs a rendezvous for rank r: it deposits entry and r.Clock,
+// blocks until all members arrive, has exactly one member evaluate
+// reduce(entries, clocks) once, synchronises r.Clock to the maximum entry
+// clock (BSP semantics), and returns the shared result. The collective's
+// modeled duration is part of the result and must be added to r.Clock by
+// the caller.
+func (g *Group) collect(r *Rank, entry any, reduce func(entries []any, clocks []float64) any) any {
+	idx := g.IndexOf(r.ID)
+
+	g.mu.Lock()
+	seq := g.counter[idx]
+	g.counter[idx]++
+	rv, ok := g.pending[seq]
+	if !ok {
+		rv = newRendezvous(len(g.ranks))
+		g.pending[seq] = rv
+	}
+	g.mu.Unlock()
+
+	rv.mu.Lock()
+	rv.entries[idx] = entry
+	rv.clocks[idx] = r.Clock
+	rv.arrived++
+	if rv.arrived == len(g.ranks) {
+		rv.result = reduce(rv.entries, rv.clocks)
+		rv.done = true
+		rv.cond.Broadcast()
+	} else {
+		for !rv.done {
+			rv.cond.Wait()
+		}
+	}
+	res := rv.result
+	var mc float64
+	for _, c := range rv.clocks {
+		if c > mc {
+			mc = c
+		}
+	}
+	rv.left++
+	last := rv.left == len(g.ranks)
+	rv.mu.Unlock()
+
+	if last {
+		g.mu.Lock()
+		delete(g.pending, seq)
+		g.mu.Unlock()
+	}
+
+	if mc > r.Clock {
+		r.Clock = mc
+	}
+	return res
+}

@@ -1,0 +1,344 @@
+package simrt
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"xmoe/internal/topology"
+)
+
+func testCluster(n int) *Cluster {
+	c := NewCluster(topology.Frontier(), n, 42)
+	c.Net.DisableCongestion = true
+	return c
+}
+
+func TestRunExecutesEveryRank(t *testing.T) {
+	c := testCluster(16)
+	var count int64
+	if err := c.Run(func(r *Rank) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 16 {
+		t.Fatalf("ran %d ranks, want 16", count)
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	c := testCluster(4)
+	sentinel := errors.New("rank 2 failed")
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	c := testCluster(2)
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic should surface as error")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	var m MemTracker
+	m.Alloc("a", 100)
+	m.Alloc("b", 50)
+	if m.Current() != 150 || m.Peak() != 150 {
+		t.Fatalf("cur/peak = %d/%d", m.Current(), m.Peak())
+	}
+	m.Free("a", 100)
+	if m.Current() != 50 || m.Peak() != 150 {
+		t.Fatalf("after free cur/peak = %d/%d", m.Current(), m.Peak())
+	}
+	m.Alloc("b", 10)
+	if m.ByTag()["b"] != 60 {
+		t.Fatalf("ByTag[b] = %d", m.ByTag()["b"])
+	}
+	m.Reset()
+	if m.Current() != 0 || m.Peak() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestDeviceOOM(t *testing.T) {
+	c := testCluster(1)
+	d := c.Device(0)
+	d.Mem.Alloc("big", d.Profile.MemBytes+1)
+	if !d.OOM() {
+		t.Fatal("allocation past capacity must flag OOM")
+	}
+	if !c.AnyOOM() {
+		t.Fatal("cluster must see the OOM")
+	}
+	c.ResetMemory()
+	if c.AnyOOM() {
+		t.Fatal("reset must clear OOM")
+	}
+}
+
+func TestComputeAdvancesClockAndTrace(t *testing.T) {
+	c := testCluster(1)
+	_ = c.Run(func(r *Rank) error {
+		r.Compute("work", 0.25)
+		r.Compute("work", 0.25)
+		if r.Clock != 0.5 {
+			return fmt.Errorf("clock = %f", r.Clock)
+		}
+		if got := r.Trace.Total("work"); got != 0.5 {
+			return fmt.Errorf("trace total = %f", got)
+		}
+		return nil
+	})
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *Rank) error {
+		r.Compute("stagger", float64(r.ID)*0.1)
+		r.Barrier(g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the barrier every clock must be >= the slowest entrant (0.3).
+	for _, r := range ranks {
+		if r.Clock < 0.3 {
+			t.Fatalf("rank %d clock %.3f below barrier max 0.3", r.ID, r.Clock)
+		}
+	}
+	lead := MaxClock(ranks)
+	for _, r := range ranks {
+		if lead-r.Clock > 1e-9 {
+			t.Fatalf("clocks diverge after barrier: %f vs %f", r.Clock, lead)
+		}
+	}
+}
+
+func TestAlltoAllVMovesData(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		send := make([]Part, 4)
+		for j := range send {
+			// rank i sends value 100*i+j to rank j
+			send[j] = Part{Data: []float32{float32(100*r.ID + j)}, Bytes: 4}
+		}
+		recv := r.AlltoAllV(g, "a2a", send)
+		for s, p := range recv {
+			want := float32(100*s + r.ID)
+			if len(p.Data) != 1 || p.Data[0] != want {
+				return fmt.Errorf("rank %d recv from %d = %v, want %v", r.ID, s, p.Data, want)
+			}
+		}
+		if r.Clock <= 0 {
+			return fmt.Errorf("a2av charged no time")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAllVSymbolicParts(t *testing.T) {
+	c := testCluster(8)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		send := make([]Part, 8)
+		for j := range send {
+			send[j] = Part{Bytes: 1 << 20}
+		}
+		recv := r.AlltoAllV(g, "a2a", send)
+		for _, p := range recv {
+			if p.Bytes != 1<<20 || p.Data != nil {
+				return fmt.Errorf("symbolic part corrupted: %+v", p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSums(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		sum := r.AllReduce(g, "ar", []float32{float32(r.ID), 1}, 8)
+		if sum[0] != 6 || sum[1] != 4 { // 0+1+2+3, 1*4
+			return fmt.Errorf("allreduce sum = %v", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherCollectsInOrder(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		parts := r.AllGather(g, "ag", Part{Data: []float32{float32(r.ID)}, Bytes: 4})
+		for i, p := range parts {
+			if p.Data[0] != float32(i) {
+				return fmt.Errorf("allgather[%d] = %v", i, p.Data)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		p := r.Broadcast(g, "bc", 2, Part{Data: []float32{float32(r.ID)}, Bytes: 4})
+		if p.Data[0] != 2 {
+			return fmt.Errorf("broadcast got %v, want root 2's value", p.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeCounts(t *testing.T) {
+	c := testCluster(3)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		counts := make([]int64, 3)
+		for j := range counts {
+			counts[j] = int64(10*r.ID + j)
+		}
+		got := r.ExchangeCounts(g, "counts", counts)
+		for s := range got {
+			want := int64(10*s + r.ID)
+			if got[s] != want {
+				return fmt.Errorf("rank %d counts from %d = %d, want %d", r.ID, s, got[s], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubGroupsOperateIndependently(t *testing.T) {
+	c := testCluster(8)
+	g0 := c.NewGroup([]int{0, 1, 2, 3})
+	g1 := c.NewGroup([]int{4, 5, 6, 7})
+	err := c.Run(func(r *Rank) error {
+		g := g0
+		base := 0
+		if r.ID >= 4 {
+			g = g1
+			base = 4
+		}
+		sum := r.AllReduce(g, "ar", []float32{float32(r.ID)}, 4)
+		want := float32(base + base + 1 + base + 2 + base + 3)
+		if sum[0] != want {
+			return fmt.Errorf("rank %d group sum = %v, want %v", r.ID, sum[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedCollectivesOnSameGroup(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		for iter := 0; iter < 50; iter++ {
+			sum := r.AllReduce(g, "ar", []float32{1}, 4)
+			if sum[0] != 4 {
+				return fmt.Errorf("iter %d: sum = %v", iter, sum[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupIndexing(t *testing.T) {
+	c := testCluster(8)
+	g := c.NewGroup([]int{5, 1, 3}) // normalised to 1,3,5
+	if g.Size() != 3 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if g.IndexOf(1) != 0 || g.IndexOf(3) != 1 || g.IndexOf(5) != 2 {
+		t.Fatal("IndexOf wrong after normalisation")
+	}
+	if g.Contains(2) || !g.Contains(5) {
+		t.Fatal("Contains wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IndexOf of non-member should panic")
+		}
+	}()
+	g.IndexOf(2)
+}
+
+func TestNewGroupRejectsBadRanks(t *testing.T) {
+	c := testCluster(4)
+	for _, bad := range [][]int{{0, 0}, {-1}, {4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewGroup(%v) should panic", bad)
+				}
+			}()
+			c.NewGroup(bad)
+		}()
+	}
+}
+
+func TestLargeScaleSmoke1024Ranks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank smoke test skipped in -short")
+	}
+	c := testCluster(1024)
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *Rank) error {
+		r.Barrier(g)
+		sum := r.AllReduce(g, "ar", nil, 1<<20)
+		_ = sum
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxClock(ranks) <= 0 {
+		t.Fatal("1024-rank collectives should consume simulated time")
+	}
+}

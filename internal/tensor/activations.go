@@ -1,0 +1,72 @@
+package tensor
+
+import "math"
+
+// ReLU applies max(0, x) elementwise in place.
+func ReLU(t *Tensor) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// ReLUBackward computes dX from dY given the forward input x: dX[i] is
+// dY[i] where x[i] > 0 and zero elsewhere. The result is a new tensor.
+func ReLUBackward(dy, x *Tensor) *Tensor {
+	dx := New(x.shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx
+}
+
+// GeLU applies the tanh-approximated Gaussian error linear unit in place,
+// matching the approximation used throughout transformer FFNs.
+func GeLU(t *Tensor) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x))))
+	}
+}
+
+// GeLUBackward computes dX from dY given the forward input x for the
+// tanh-approximated GeLU.
+func GeLUBackward(dy, x *Tensor) *Tensor {
+	const c = 0.7978845608028654
+	dx := New(x.shape...)
+	for i, v := range x.Data {
+		x := float64(v)
+		inner := c * (x + 0.044715*x*x*x)
+		th := math.Tanh(inner)
+		sech2 := 1 - th*th
+		dinner := c * (1 + 3*0.044715*x*x)
+		grad := 0.5*(1+th) + 0.5*x*sech2*dinner
+		dx.Data[i] = dy.Data[i] * float32(grad)
+	}
+	return dx
+}
+
+// SiLU applies x*sigmoid(x) elementwise in place (the activation used by
+// DeepSeek-style expert FFNs).
+func SiLU(t *Tensor) {
+	for i, v := range t.Data {
+		x := float64(v)
+		t.Data[i] = float32(x / (1 + math.Exp(-x)))
+	}
+}
+
+// SiLUBackward computes dX from dY given the forward input x.
+func SiLUBackward(dy, x *Tensor) *Tensor {
+	dx := New(x.shape...)
+	for i, v := range x.Data {
+		x := float64(v)
+		s := 1 / (1 + math.Exp(-x))
+		grad := s * (1 + x*(1-s))
+		dx.Data[i] = dy.Data[i] * float32(grad)
+	}
+	return dx
+}

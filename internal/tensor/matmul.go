@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// blockK is the k-dimension blocking factor for the cache-blocked matmul
+// inner loops.
+const blockK = 64
+
+// MatMul computes C = A·B for A of shape [m,k] and B of shape [k,n],
+// returning a new [m,n] tensor. Rows of C are computed in parallel across
+// the worker pool. The kernel uses an ikj loop order with k-blocking so the
+// inner loop is a contiguous AXPY over rows of B, which vectorises well.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into the preallocated tensor c, which must
+// have shape [m,n]. c is overwritten.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	n := b.Cols()
+	if b.Rows() != k || c.Rows() != m || c.Cols() != n {
+		panic(fmt.Sprintf("tensor: matmulinto shape mismatch C%v = A%v x B%v", c.shape, a.shape, b.shape))
+	}
+	for i := range c.Data {
+		c.Data[i] = 0
+	}
+	ParallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			ai := a.Data[i*k : (i+1)*k]
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := k0 + blockK
+				if k1 > k {
+					k1 = k
+				}
+				for p := k0; p < k1; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					bp := b.Data[p*n : (p+1)*n]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	})
+}
+
+// MatMulT computes C = A·Bᵀ for A of shape [m,k] and B of shape [n,k],
+// returning a new [m,n] tensor. This is the natural layout for computing
+// activations against weight matrices stored output-major, and for the
+// dX = dY·Wᵀ backward rule when W is stored as [k,n] transposed views.
+func MatMulT(a, b *Tensor) *Tensor {
+	m, k := a.Rows(), a.Cols()
+	n, k2 := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch %v x %vᵀ", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ParallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// TMatMul computes C = Aᵀ·B for A of shape [k,m] and B of shape [k,n],
+// returning a new [m,n] tensor. This is the dW = Xᵀ·dY backward rule.
+func TMatMul(a, b *Tensor) *Tensor {
+	k, m := a.Rows(), a.Cols()
+	k2, n := b.Rows(), b.Cols()
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: tmatmul shape mismatch %vᵀ x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	// Parallelise over rows of the output; each output row i accumulates
+	// a[p][i] * b[p][:] over all p, reading B rows contiguously.
+	ParallelFor(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulFLOPs returns the floating-point operation count of an [m,k]x[k,n]
+// multiply (2mkn), used by the performance model.
+func MatMulFLOPs(m, k, n int) int64 {
+	return 2 * int64(m) * int64(k) * int64(n)
+}

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// SoftmaxRows applies a numerically stable softmax to each row of a
+// matrix-shaped tensor in place.
+func SoftmaxRows(t *Tensor) {
+	rows, cols := t.Rows(), t.Cols()
+	ParallelFor(rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*cols : (i+1)*cols]
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j, v := range row {
+				e := float32(math.Exp(float64(v - maxv)))
+				row[j] = e
+				sum += float64(e)
+			}
+			inv := float32(1.0 / sum)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	})
+}
+
+// LogSoftmaxRows applies log-softmax to each row in place and returns t.
+func LogSoftmaxRows(t *Tensor) *Tensor {
+	rows, cols := t.Rows(), t.Cols()
+	ParallelFor(rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*cols : (i+1)*cols]
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for _, v := range row {
+				sum += math.Exp(float64(v - maxv))
+			}
+			lse := maxv + float32(math.Log(sum))
+			for j := range row {
+				row[j] -= lse
+			}
+		}
+	})
+	return t
+}
+
+// TopK returns, for each row of a matrix-shaped tensor, the indices and
+// values of its k largest entries in descending value order. Ties are
+// broken by lower index first, matching the deterministic behaviour the
+// routing tests rely on.
+func TopK(t *Tensor, k int) (indices [][]int, values [][]float32) {
+	rows, cols := t.Rows(), t.Cols()
+	if k > cols {
+		k = cols
+	}
+	indices = make([][]int, rows)
+	values = make([][]float32, rows)
+	ParallelFor(rows, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*cols : (i+1)*cols]
+			idx := make([]int, cols)
+			for j := range idx {
+				idx[j] = j
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				if row[idx[a]] != row[idx[b]] {
+					return row[idx[a]] > row[idx[b]]
+				}
+				return idx[a] < idx[b]
+			})
+			ind := make([]int, k)
+			val := make([]float32, k)
+			for j := 0; j < k; j++ {
+				ind[j] = idx[j]
+				val[j] = row[idx[j]]
+			}
+			indices[i] = ind
+			values[i] = val
+		}
+	})
+	return indices, values
+}
+
+// ArgsortDescending returns the permutation that sorts vals in descending
+// order, stable with respect to the original index order.
+func ArgsortDescending(vals []float32) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx
+}
+
+// Histogram counts occurrences of each value in [0, bins) within ids.
+// Values outside the range are ignored.
+func Histogram(ids []int, bins int) []int {
+	h := make([]int, bins)
+	for _, v := range ids {
+		if v >= 0 && v < bins {
+			h[v]++
+		}
+	}
+	return h
+}
+
+// CumSum returns the inclusive prefix sums of xs.
+func CumSum(xs []int) []int {
+	out := make([]int, len(xs))
+	run := 0
+	for i, v := range xs {
+		run += v
+		out[i] = run
+	}
+	return out
+}
+
+// ExclusiveCumSum returns the exclusive prefix sums of xs: out[i] is the
+// sum of xs[0:i]. This gives segment start offsets from segment lengths.
+func ExclusiveCumSum(xs []int) []int {
+	out := make([]int, len(xs))
+	run := 0
+	for i, v := range xs {
+		out[i] = run
+		run += v
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the fan-out of parallel tensor kernels. It defaults to
+// GOMAXPROCS and can be lowered for deterministic single-threaded profiling.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers sets the worker bound for parallel kernels and returns the
+// previous value. n < 1 is treated as 1.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	old := maxWorkers
+	maxWorkers = n
+	return old
+}
+
+// ParallelFor executes fn(lo, hi) over disjoint chunks covering [0, n),
+// using at most maxWorkers goroutines. Chunks are at least grain elements
+// long; small problems run inline on the calling goroutine. This helper is
+// the reproduction's analogue of a GPU kernel launch: the gather/scatter
+// and GEMM kernels schedule "thread blocks" through it.
+func ParallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := maxWorkers
+	if workers > (n+grain-1)/grain {
+		workers = (n + grain - 1) / grain
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

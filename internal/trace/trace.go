@@ -1,0 +1,104 @@
+// Package trace records named, timestamped durations from the simulated
+// ranks. The per-stage breakdowns in the paper's analysis figures (Fig. 11
+// MoE layer breakdown, Fig. 12 dispatch breakdown) are produced by
+// aggregating these events.
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Event is one recorded span on a rank's virtual timeline.
+type Event struct {
+	// Name identifies the pipeline stage (e.g. "gate", "dispatch_a2a").
+	Name string
+	// Start is the virtual time at which the span began, in seconds.
+	Start float64
+	// Dur is the span's duration in seconds.
+	Dur float64
+}
+
+// Recorder accumulates events. It is safe for concurrent use. The zero
+// value is a valid, enabled recorder.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (r *Recorder) Record(name string, start, dur float64) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Start: start, Dur: dur})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in insertion order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Total returns the summed duration of all events with the given name.
+func (r *Recorder) Total(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t float64
+	for _, e := range r.events {
+		if e.Name == name {
+			t += e.Dur
+		}
+	}
+	return t
+}
+
+// Breakdown returns the summed duration per event name.
+func (r *Recorder) Breakdown() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for _, e := range r.events {
+		out[e.Name] += e.Dur
+	}
+	return out
+}
+
+// Names returns the distinct event names in sorted order.
+func (r *Recorder) Names() []string {
+	b := r.Breakdown()
+	names := make([]string, 0, len(b))
+	for n := range b {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = r.events[:0]
+	r.mu.Unlock()
+}
+
+// Merge sums the breakdowns of several recorders, averaging over n
+// recorders if avg is true. Used to aggregate per-rank traces into the
+// per-stage times the paper plots.
+func Merge(recorders []*Recorder, avg bool) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range recorders {
+		for name, d := range r.Breakdown() {
+			out[name] += d
+		}
+	}
+	if avg && len(recorders) > 0 {
+		inv := 1 / float64(len(recorders))
+		for name := range out {
+			out[name] *= inv
+		}
+	}
+	return out
+}

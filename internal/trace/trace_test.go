@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecordAndTotals(t *testing.T) {
+	var r Recorder
+	r.Record("gate", 0, 1.5)
+	r.Record("dispatch", 1.5, 2.0)
+	r.Record("gate", 3.5, 0.5)
+	if got := r.Total("gate"); got != 2.0 {
+		t.Fatalf("Total(gate) = %f, want 2.0", got)
+	}
+	if got := r.Total("missing"); got != 0 {
+		t.Fatalf("Total(missing) = %f, want 0", got)
+	}
+	b := r.Breakdown()
+	if b["gate"] != 2.0 || b["dispatch"] != 2.0 {
+		t.Fatalf("Breakdown = %v", b)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "dispatch" || names[1] != "gate" {
+		t.Fatalf("Names = %v, want sorted [dispatch gate]", names)
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Name != "gate" || evs[1].Start != 1.5 {
+		t.Fatalf("Events = %v", evs)
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	var r Recorder
+	r.Record("a", 0, 1)
+	evs := r.Events()
+	evs[0].Name = "mutated"
+	if r.Events()[0].Name != "a" {
+		t.Fatal("Events must return a copy")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record("x", 0, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total("x"); got != 800 {
+		t.Fatalf("concurrent total = %f, want 800", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	a.Record("gate", 0, 1)
+	a.Record("a2a", 1, 3)
+	b.Record("gate", 0, 3)
+	sum := Merge([]*Recorder{a, b}, false)
+	if sum["gate"] != 4 || sum["a2a"] != 3 {
+		t.Fatalf("Merge sum = %v", sum)
+	}
+	avg := Merge([]*Recorder{a, b}, true)
+	if avg["gate"] != 2 || avg["a2a"] != 1.5 {
+		t.Fatalf("Merge avg = %v", avg)
+	}
+	if got := Merge(nil, true); len(got) != 0 {
+		t.Fatalf("Merge(nil) = %v", got)
+	}
+}

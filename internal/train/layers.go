@@ -1,0 +1,313 @@
+// Package train is the numeric training stack used for the paper's
+// implementation validation (§5.6, Fig. 15): a complete, hand-written
+// forward/backward MoE transformer language model — embedding, causal
+// attention, MoE FFN with top-k routing and configurable token-dropping
+// policy, cross-entropy loss, and Adam — trained on a synthetic corpus.
+// It validates that X-MoE's capacity-only dropping tracks (and slightly
+// beats) DeepSpeed-MoE's drop-negative-score policy in loss.
+package train
+
+import (
+	"math"
+
+	"xmoe/internal/kernels"
+	"xmoe/internal/moe"
+	"xmoe/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	W *tensor.Tensor
+	G *tensor.Tensor
+}
+
+// NewParam wraps an initialised weight tensor.
+func NewParam(w *tensor.Tensor) *Param {
+	return &Param{W: w, G: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Linear is a bias-free dense layer y = x·W.
+type Linear struct {
+	P *Param
+	x *tensor.Tensor // cached input
+}
+
+// NewLinear initialises a [in, out] projection with the given std.
+func NewLinear(rng *tensor.RNG, in, out int, std float32) *Linear {
+	return &Linear{P: NewParam(tensor.Randn(rng, std, in, out))}
+}
+
+// Forward computes y = x·W and caches x for backward.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	return tensor.MatMul(x, l.P.W)
+}
+
+// Backward accumulates dW and returns dX.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	l.P.G.Add(tensor.TMatMul(l.x, dy))
+	return tensor.MatMulT(dy, l.P.W)
+}
+
+// Embedding maps token ids to dense rows.
+type Embedding struct {
+	P   *Param
+	ids []int
+}
+
+// NewEmbedding initialises a [vocab, h] table.
+func NewEmbedding(rng *tensor.RNG, vocab, h int) *Embedding {
+	return &Embedding{P: NewParam(tensor.Randn(rng, 0.02, vocab, h))}
+}
+
+// Forward gathers embedding rows for ids.
+func (e *Embedding) Forward(ids []int) *tensor.Tensor {
+	e.ids = ids
+	return kernels.Gather(e.P.W, ids)
+}
+
+// Backward scatters output gradients into the table gradient.
+func (e *Embedding) Backward(dy *tensor.Tensor) {
+	h := dy.Cols()
+	for i, id := range e.ids {
+		g := e.P.G.Row(id)
+		src := dy.Row(i)
+		for j := 0; j < h; j++ {
+			g[j] += src[j]
+		}
+	}
+}
+
+// Attention is a single-head causal self-attention block operating on one
+// sequence of S tokens, with full hand-written backward.
+type Attention struct {
+	Wq, Wk, Wv, Wo *Linear
+	scale          float32
+	// caches
+	x, q, k, v, probs, z *tensor.Tensor
+}
+
+// NewAttention builds the block for hidden size h.
+func NewAttention(rng *tensor.RNG, h int) *Attention {
+	std := float32(0.02)
+	return &Attention{
+		Wq:    NewLinear(rng, h, h, std),
+		Wk:    NewLinear(rng, h, h, std),
+		Wv:    NewLinear(rng, h, h, std),
+		Wo:    NewLinear(rng, h, h, std),
+		scale: float32(1 / math.Sqrt(float64(h))),
+	}
+}
+
+// Forward computes causal attention over x [S, H].
+func (a *Attention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	a.x = x
+	a.q = a.Wq.Forward(x)
+	a.k = a.Wk.Forward(x)
+	a.v = a.Wv.Forward(x)
+	s := x.Rows()
+	scores := tensor.MatMulT(a.q, a.k) // [S, S]
+	scores.Scale(a.scale)
+	// Causal mask: position i attends to j <= i.
+	for i := 0; i < s; i++ {
+		row := scores.Row(i)
+		for j := i + 1; j < s; j++ {
+			row[j] = float32(math.Inf(-1))
+		}
+	}
+	tensor.SoftmaxRows(scores)
+	a.probs = scores
+	a.z = tensor.MatMul(a.probs, a.v)
+	return a.Wo.Forward(a.z)
+}
+
+// Backward propagates dy through the block, returning dX.
+func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	s := a.x.Rows()
+	dz := a.Wo.Backward(dy)
+	dprobs := tensor.MatMulT(dz, a.v) // [S, S]
+	dv := tensor.TMatMul(a.probs, dz) // [S, H]
+	// Softmax backward per row: dscore = p * (dprob - <dprob, p>).
+	dscores := tensor.New(s, s)
+	for i := 0; i < s; i++ {
+		p := a.probs.Row(i)
+		dp := dprobs.Row(i)
+		var dot float32
+		for j := 0; j <= i; j++ {
+			dot += dp[j] * p[j]
+		}
+		dst := dscores.Row(i)
+		for j := 0; j <= i; j++ {
+			dst[j] = p[j] * (dp[j] - dot)
+		}
+	}
+	dscores.Scale(a.scale)
+	dq := tensor.MatMul(dscores, a.k)  // [S, H]
+	dk := tensor.TMatMul(dscores, a.q) // [S, H]
+	dx := a.Wq.Backward(dq)
+	dx.Add(a.Wk.Backward(dk))
+	dx.Add(a.Wv.Backward(dv))
+	return dx
+}
+
+// Params returns the block's trainable parameters.
+func (a *Attention) Params() []*Param {
+	return []*Param{a.Wq.P, a.Wk.P, a.Wv.P, a.Wo.P}
+}
+
+// MoEFFN is a complete MoE feed-forward block: router, PFT construction
+// with a configurable drop policy, gather dispatch, per-expert two-layer
+// GeLU FFNs via sequential GEMM, and the weighted scatter combine — the
+// numeric twin of the distributed padding-free pipeline.
+type MoEFFN struct {
+	Cfg    moe.Config
+	Policy moe.DropPolicy
+	Router *Linear
+	W1, W2 []*Param // per expert
+
+	// caches for backward
+	x         *tensor.Tensor
+	logits    *tensor.Tensor
+	probs     *tensor.Tensor
+	pft       *moe.PFT
+	dispIn    *tensor.Tensor
+	hidPre    *tensor.Tensor // pre-activation
+	hidAct    *tensor.Tensor
+	expertOut *tensor.Tensor
+	rows      []int
+	perm      []int // PFT order -> expert-major order
+}
+
+// NewMoEFFN builds the block.
+func NewMoEFFN(rng *tensor.RNG, cfg moe.Config, policy moe.DropPolicy) *MoEFFN {
+	m := &MoEFFN{
+		Cfg:    cfg,
+		Policy: policy,
+		Router: NewLinear(rng, cfg.HModel, cfg.NumExperts, 0.02),
+		W1:     make([]*Param, cfg.NumExperts),
+		W2:     make([]*Param, cfg.NumExperts),
+	}
+	for e := 0; e < cfg.NumExperts; e++ {
+		m.W1[e] = NewParam(tensor.Randn(rng, 0.02, cfg.HModel, cfg.HFFN))
+		m.W2[e] = NewParam(tensor.Randn(rng, 0.02, cfg.HFFN, cfg.HModel))
+	}
+	return m
+}
+
+// Forward routes x [S, H] through the MoE block.
+func (m *MoEFFN) Forward(x *tensor.Tensor) *tensor.Tensor {
+	s := x.Rows()
+	m.x = x
+	m.logits = m.Router.Forward(x)
+	m.probs = m.logits.Clone()
+	tensor.SoftmaxRows(m.probs)
+	idx, _ := tensor.TopK(m.probs, m.Cfg.TopK)
+
+	routing := moe.Routing{
+		S:          s,
+		TopExperts: idx,
+		Weights:    make([][]float32, s),
+		Logits:     make([][]float32, s),
+	}
+	for t := 0; t < s; t++ {
+		k := len(idx[t])
+		routing.Weights[t] = make([]float32, k)
+		routing.Logits[t] = make([]float32, k)
+		for j, e := range idx[t] {
+			routing.Weights[t][j] = m.probs.At(t, e)
+			routing.Logits[t][j] = m.logits.At(t, e)
+		}
+	}
+	m.pft = moe.BuildPFT(routing, m.Cfg.NumExperts, m.Cfg.Capacity(s), m.Policy)
+
+	// Dispatch (gather) — entries are already expert-major, so the
+	// sequential GEMM consumes them directly.
+	m.dispIn = kernels.Gather(x, m.pft.TokenIDs)
+	m.rows = append([]int(nil), m.pft.TokensPerExpert...)
+
+	w1 := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	w2 := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	for e := range w1 {
+		w1[e] = m.W1[e].W
+		w2[e] = m.W2[e].W
+	}
+	m.hidPre = kernels.SequentialGEMM(m.dispIn, m.rows, w1)
+	m.hidAct = m.hidPre.Clone()
+	tensor.GeLU(m.hidAct)
+	m.expertOut = kernels.SequentialGEMM(m.hidAct, m.rows, w2)
+
+	return kernels.ScatterCombine(m.expertOut, m.pft.TokenIDs, m.pft.CombineWeights, s)
+}
+
+// Backward propagates dy [S, H] through the block, accumulating router
+// and expert gradients, and returns dX. Gradients flow both through the
+// expert outputs and through the combine weights into the router softmax.
+func (m *MoEFFN) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	s := m.x.Rows()
+
+	// Combine backward: per-row expert-output grads and combine-weight
+	// grads.
+	dExpertOut, dWeights := kernels.ScatterCombineBackward(dy, m.expertOut, m.pft.TokenIDs, m.pft.CombineWeights)
+
+	// Expert FFN backward.
+	w2 := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	w1 := make([]*tensor.Tensor, m.Cfg.NumExperts)
+	for e := range w2 {
+		w2[e] = m.W2[e].W
+		w1[e] = m.W1[e].W
+	}
+	dHidAct, dW2 := kernels.SequentialGEMMBackward(dExpertOut, m.hidAct, m.rows, w2)
+	dHidPre := tensor.GeLUBackward(dHidAct, m.hidPre)
+	dDispIn, dW1 := kernels.SequentialGEMMBackward(dHidPre, m.dispIn, m.rows, w1)
+	for e := range dW1 {
+		m.W1[e].G.Add(dW1[e])
+		m.W2[e].G.Add(dW2[e])
+	}
+
+	// Dispatch (gather) backward into the block input.
+	dx := kernels.GatherBackward(dDispIn, m.pft.TokenIDs, s)
+
+	// Router backward through the combine weights: weight i is
+	// probs[token, expert] for each retained entry; softmax backward
+	// turns per-probability grads into logit grads.
+	dProbs := tensor.New(s, m.Cfg.NumExperts)
+	for i := range m.pft.TokenIDs {
+		dProbs.Set(m.pft.TokenIDs[i], m.pft.ExpertIDs[i],
+			dProbs.At(m.pft.TokenIDs[i], m.pft.ExpertIDs[i])+dWeights[i])
+	}
+	dLogits := tensor.New(s, m.Cfg.NumExperts)
+	for t := 0; t < s; t++ {
+		p := m.probs.Row(t)
+		dp := dProbs.Row(t)
+		var dot float32
+		for j, v := range dp {
+			dot += v * p[j]
+		}
+		dst := dLogits.Row(t)
+		for j := range dst {
+			dst[j] = p[j] * (dp[j] - dot)
+		}
+	}
+	dx.Add(m.Router.Backward(dLogits))
+	return dx
+}
+
+// Params returns all trainable parameters of the block.
+func (m *MoEFFN) Params() []*Param {
+	out := []*Param{m.Router.P}
+	for e := range m.W1 {
+		out = append(out, m.W1[e], m.W2[e])
+	}
+	return out
+}
+
+// DroppedTokens returns the drop count of the most recent forward pass.
+func (m *MoEFFN) DroppedTokens() int {
+	if m.pft == nil {
+		return 0
+	}
+	return m.pft.Dropped
+}
