@@ -1,0 +1,51 @@
+# Developer workflow for the xmoe reproduction.
+#
+#   make ci      - what a CI job runs: vet, build, race-enabled tests, quick bench
+#   make test    - full test suite (includes the slow sweep tests)
+#   make race    - race-detector pass over the concurrency-heavy packages
+#   make bench   - package microbenchmarks with allocation counts
+#   make bench-figs - paper-figure benchmarks (slow)
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-figs bench-json ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-critical packages: worker pool + tensor arenas (tensor),
+# rank goroutines and rendezvous collectives (simrt), pooled pipelines
+# (moe, rbd, kernels).
+race:
+	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/moe \
+		./internal/kernels ./internal/rbd ./internal/collective
+
+# Everything under the race detector. The bench sweeps run ~10x slower
+# with -race, so the default 10m per-package timeout is not enough.
+race-full:
+	$(GO) test -race -timeout 60m ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor \
+		./internal/kernels ./internal/moe ./internal/train
+
+bench-figs:
+	$(GO) test -run=NONE -bench=. -benchmem -benchtime=1x .
+
+bench-json:
+	$(GO) run ./cmd/xmoe-bench -quick -json
+
+# Quick CI: vet + build + race tests on the fast packages + unit tests of
+# the remaining packages + a quick microbenchmark smoke run.
+ci: vet build race
+	$(GO) test ./internal/... .
+	$(GO) test -run=NONE -bench='BenchmarkPFTLayerForwardBackward|BenchmarkMoEFFNForwardBackward' \
+		-benchmem -benchtime=10x ./internal/moe ./internal/train

@@ -4,42 +4,51 @@
 //
 // Usage:
 //
-//	xmoe-bench [-experiment all] [-quick] [-seed 42]
+//	xmoe-bench [-experiment all] [-quick] [-seed 42] [-json]
+//
+// With -json, each experiment is additionally run under the Go benchmark
+// harness and a machine-readable record (host ns/op, allocs/op, bytes/op,
+// plus the experiment's simulated headline metrics such as TFLOPs/GPU) is
+// appended to BENCH_results.json, seeding the repository's performance
+// trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"xmoe/internal/bench"
 )
 
-var experiments = map[string]func(opts bench.Options){
-	"table1": func(o bench.Options) { bench.Table1SizeEquivalence(os.Stdout) },
-	"fig3":   func(o bench.Options) { bench.Figure3MemoryDistribution(os.Stdout) },
-	"fig4":   func(o bench.Options) { bench.Figure4Redundancy(os.Stdout, o) },
-	"fig9":   func(o bench.Options) { bench.Figure9MainResults(os.Stdout, o) },
-	"fig10a": func(o bench.Options) { bench.Figure10aWeakScaling(os.Stdout, o) },
-	"fig10b": func(o bench.Options) { bench.Figure10bStrongScaling(os.Stdout, o) },
-	"fig11":  func(o bench.Options) { bench.Figure11LayerBreakdown(os.Stdout, o) },
-	"fig12":  func(o bench.Options) { bench.Figure12RBDBreakdown(os.Stdout, o) },
-	"table4": func(o bench.Options) { bench.Table4ActivationMemory(os.Stdout) },
-	"fig13":  func(o bench.Options) { bench.Figure13SSMBMemory(os.Stdout) },
-	"fig14":  func(o bench.Options) { bench.Figure14SSMBvsCkpt(os.Stdout, o) },
-	"table5": func(o bench.Options) { bench.Table5CrossPlatform(os.Stdout, o) },
-	"fig15":  func(o bench.Options) { bench.Figure15LossValidation(os.Stdout, o) },
-	"fig17":  func(o bench.Options) { bench.Figure17AdvantageRegions(os.Stdout) },
-	"fig18":  func(o bench.Options) { bench.Figure18AlltoAllScaling(os.Stdout, o) },
-	"fig20":  func(o bench.Options) { bench.Figure20DepthTopK(os.Stdout, o) },
-	"appc1":  func(o bench.Options) { bench.AppendixC1Placement(os.Stdout) },
+var experiments = map[string]func(w io.Writer, opts bench.Options){
+	"table1": func(w io.Writer, o bench.Options) { bench.Table1SizeEquivalence(w) },
+	"fig3":   func(w io.Writer, o bench.Options) { bench.Figure3MemoryDistribution(w) },
+	"fig4":   func(w io.Writer, o bench.Options) { bench.Figure4Redundancy(w, o) },
+	"fig9":   func(w io.Writer, o bench.Options) { bench.Figure9MainResults(w, o) },
+	"fig10a": func(w io.Writer, o bench.Options) { bench.Figure10aWeakScaling(w, o) },
+	"fig10b": func(w io.Writer, o bench.Options) { bench.Figure10bStrongScaling(w, o) },
+	"fig11":  func(w io.Writer, o bench.Options) { bench.Figure11LayerBreakdown(w, o) },
+	"fig12":  func(w io.Writer, o bench.Options) { bench.Figure12RBDBreakdown(w, o) },
+	"table4": func(w io.Writer, o bench.Options) { bench.Table4ActivationMemory(w) },
+	"fig13":  func(w io.Writer, o bench.Options) { bench.Figure13SSMBMemory(w) },
+	"fig14":  func(w io.Writer, o bench.Options) { bench.Figure14SSMBvsCkpt(w, o) },
+	"table5": func(w io.Writer, o bench.Options) { bench.Table5CrossPlatform(w, o) },
+	"fig15":  func(w io.Writer, o bench.Options) { bench.Figure15LossValidation(w, o) },
+	"fig17":  func(w io.Writer, o bench.Options) { bench.Figure17AdvantageRegions(w) },
+	"fig18":  func(w io.Writer, o bench.Options) { bench.Figure18AlltoAllScaling(w, o) },
+	"fig20":  func(w io.Writer, o bench.Options) { bench.Figure20DepthTopK(w, o) },
+	"appc1":  func(w io.Writer, o bench.Options) { bench.AppendixC1Placement(w) },
 	// Ablations beyond the paper's figures (design choices of §4).
-	"abl-pilot":    func(o bench.Options) { bench.AblationPilotSelection(os.Stdout, o) },
-	"abl-capacity": func(o bench.Options) { bench.AblationCapacityFactor(os.Stdout, o) },
-	"abl-rbd-ep":   func(o bench.Options) { bench.AblationRBDByEPSize(os.Stdout, o) },
+	"abl-pilot":    func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
+	"abl-capacity": func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
+	"abl-rbd-ep":   func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
@@ -49,11 +58,55 @@ var order = []string{
 	"abl-pilot", "abl-capacity", "abl-rbd-ep",
 }
 
+// jsonRecord is one experiment's machine-readable result.
+type jsonRecord struct {
+	Experiment  string `json:"experiment"`
+	NsPerOp     int64  `json:"ns_op"`
+	AllocsPerOp int64  `json:"allocs_op"`
+	BytesPerOp  int64  `json:"bytes_op"`
+	// Simulated holds the experiment's headline simulated metrics
+	// (e.g. TFLOPs/GPU, layer forward ms), keyed by metric name.
+	Simulated map[string]float64 `json:"simulated,omitempty"`
+	Quick     bool               `json:"quick"`
+	Seed      uint64             `json:"seed"`
+	Timestamp string             `json:"timestamp"`
+}
+
+const jsonPath = "BENCH_results.json"
+
+// writeJSON appends records to BENCH_results.json (one JSON array,
+// rewritten whole so the file stays valid JSON).
+func writeJSON(records []jsonRecord) error {
+	var existing []jsonRecord
+	if data, err := os.ReadFile(jsonPath); err == nil {
+		if uerr := json.Unmarshal(data, &existing); uerr != nil {
+			// Never silently erase the accumulated trajectory: set the
+			// unreadable file aside and start a fresh history.
+			backup := jsonPath + ".corrupt"
+			if rerr := os.Rename(jsonPath, backup); rerr == nil {
+				fmt.Fprintf(os.Stderr, "warning: %s is not valid JSON (%v); moved it to %s and starting fresh\n",
+					jsonPath, uerr, backup)
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: %s is not valid JSON (%v) and could not be moved aside (%v); it will be overwritten\n",
+					jsonPath, uerr, rerr)
+			}
+			existing = nil
+		}
+	}
+	existing = append(existing, records...)
+	data, err := json.MarshalIndent(existing, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (or 'all'); see -list")
 	quick := flag.Bool("quick", false, "reduced iteration counts and sweep ranges")
 	seed := flag.Uint64("seed", 42, "seed for routing and congestion sampling")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonOut := flag.Bool("json", false, "benchmark each experiment and append machine-readable results to "+jsonPath)
 	flag.Parse()
 
 	if *list {
@@ -67,6 +120,7 @@ func main() {
 	}
 
 	opts := bench.Options{Seed: *seed, Quick: *quick}
+	var records []jsonRecord
 	run := func(name string) {
 		fn, ok := experiments[name]
 		if !ok {
@@ -74,17 +128,43 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		fn(opts)
+		fn(os.Stdout, opts)
 		fmt.Printf("  [%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+		if *jsonOut {
+			bench.DrainMetrics() // keep only the benchmarked run's metrics
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					fn(io.Discard, opts)
+				}
+			})
+			records = append(records, jsonRecord{
+				Experiment:  name,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				Simulated:   bench.DrainMetrics(),
+				Quick:       *quick,
+				Seed:        *seed,
+				Timestamp:   start.UTC().Format(time.RFC3339),
+			})
+		}
 	}
 
 	if *exp == "all" {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(name))
+		}
 	}
-	for _, name := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(name))
+	if *jsonOut {
+		if err := writeJSON(records); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %d records to %s]\n", len(records), jsonPath)
 	}
 }

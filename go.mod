@@ -1,0 +1,3 @@
+module xmoe
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Options configures experiment execution.
@@ -23,6 +24,33 @@ type Options struct {
 
 // DefaultOptions returns the seed used for all published outputs.
 func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Experiment metrics registry: experiments report headline simulated
+// quantities (throughput, layer times) here so machine-readable harnesses
+// (cmd/xmoe-bench -json) can export them alongside host-side ns/op and
+// allocs/op without re-parsing the printed tables.
+var (
+	metricsMu sync.Mutex
+	metrics   = map[string]float64{}
+)
+
+// RecordMetric stores a named scalar for the current experiment run,
+// overwriting any previous value.
+func RecordMetric(name string, v float64) {
+	metricsMu.Lock()
+	metrics[name] = v
+	metricsMu.Unlock()
+}
+
+// DrainMetrics returns all metrics recorded since the last drain and
+// clears the registry.
+func DrainMetrics() map[string]float64 {
+	metricsMu.Lock()
+	out := metrics
+	metrics = map[string]float64{}
+	metricsMu.Unlock()
+	return out
+}
 
 // header prints a section banner.
 func header(w io.Writer, title string) {

@@ -77,6 +77,7 @@ func Figure11LayerBreakdown(w io.Writer, opts Options) []Figure11Result {
 		}
 		t.add("TOTAL", ms(totalDS), ms(totalX), fmt.Sprintf("%.1fx", totalDS/totalX))
 		t.write(w)
+		RecordMetric("fig11_"+p.shape.Name+"_xmoe_layer_fwd_ms", totalX*1e3)
 	}
 	fmt.Fprintln(w, "  paper (Small): gate 5.7x, dispatch 35.7x, combine 8.1x faster; experts slightly")
 	fmt.Fprintln(w, "  slower under sequential GEMM; overall 62.3% lower layer time. (Large): a2a cut ~50.7%")
@@ -176,5 +177,6 @@ func Figure12RBDBreakdown(w io.Writer, opts Options) Figure12Result {
 	t.write(w)
 	fmt.Fprintf(w, "  measured redundancy %.1f%% (paper 54.8%%); dispatch speedup %.2fx (paper 1.55x)\n",
 		res.MeasuredRedundancy*100, res.Speedup)
+	RecordMetric("fig12_rbd_dispatch_speedup", res.Speedup)
 	return res
 }

@@ -78,6 +78,17 @@ func Figure9MainResults(w io.Writer, opts Options) []Figure9Cell {
 		}
 	}
 	t.write(w)
+	var sum float64
+	var n int
+	for _, c := range cells {
+		if !c.OOM && c.TFLOPs > 0 {
+			sum += c.TFLOPs
+			n++
+		}
+	}
+	if n > 0 {
+		RecordMetric("fig9_mean_tflops_per_gpu", sum/float64(n))
+	}
 	return cells
 }
 
@@ -130,6 +141,9 @@ func Figure10aWeakScaling(w io.Writer, opts Options) []ScalingPoint {
 			fmt.Sprintf("%.1f", tu), fmt.Sprintf("%.1f", paperT[i]))
 	}
 	t.write(w)
+	if len(out) > 0 {
+		RecordMetric("fig10a_xmoe_tflops_per_gpu_max_scale", out[len(out)-1].XMoE)
+	}
 	return out
 }
 
@@ -179,6 +193,9 @@ func Figure10bStrongScaling(w io.Writer, opts Options) []ScalingPoint {
 	t.write(w)
 	fmt.Fprintln(w, "  paper: Tutel OOMs at 128 GPUs; X-MoE iteration time falls with scale; the")
 	fmt.Fprintln(w, "  systems converge at 1024 GPUs as cross-rack a2a latency dominates")
+	if len(out) > 0 {
+		RecordMetric("fig10b_xmoe_iter_seconds_max_scale", out[len(out)-1].XMoE)
+	}
 	return out
 }
 

@@ -207,13 +207,15 @@ func TestHierarchicalCheaperThanFlatOverNodes(t *testing.T) {
 	// flat all-reduce across nodes for large payloads (this is why
 	// NCCL/RCCL use tree/hierarchical algorithms on fat-node machines).
 	const world = 32
+	const payloadLen = 1 << 20
 	flat := testCluster(world)
 	hier := testCluster(world)
-	payload := make([]float32, 1<<20)
 
 	gFlat := flat.WorldGroup()
 	flatRanks, err := flat.RunCollect(func(r *simrt.Rank) error {
-		x := tensor.FromSlice(payload, len(payload))
+		// Per-rank payload: the collectives write the reduced sum back
+		// into x, so ranks must not share a buffer.
+		x := tensor.New(payloadLen)
 		AllReduceTensor(r, gFlat, "ar", x, 2)
 		return nil
 	})
@@ -223,7 +225,7 @@ func TestHierarchicalCheaperThanFlatOverNodes(t *testing.T) {
 	gHier := hier.WorldGroup()
 	nodeGroups, leaders := NodePartition(hier, gHier)
 	hierRanks, err := hier.RunCollect(func(r *simrt.Rank) error {
-		x := tensor.FromSlice(payload, len(payload))
+		x := tensor.New(payloadLen)
 		var lg *simrt.Group
 		if leaders.Contains(r.ID) {
 			lg = leaders

@@ -10,6 +10,12 @@
 // coalesced access. Here each "thread block" is a row processed inside a
 // goroutine-pool chunk (tensor.ParallelFor), preserving the same
 // row-parallel structure and contiguous row access pattern.
+//
+// Every kernel has an allocate-fresh form (returns new tensors) and an
+// *Into form writing into caller-provided buffers, typically drawn from a
+// tensor.Pool. The two forms are bit-identical; Into kernels that
+// accumulate rather than fully overwrite require a zero-filled
+// destination (as returned by tensor.New or tensor.Pool.Get).
 package kernels
 
 import (
@@ -24,15 +30,23 @@ import (
 //
 // gateOut is [S, H]; the result is [B, H] with B = len(tokenIDs).
 func Gather(gateOut *tensor.Tensor, tokenIDs []int) *tensor.Tensor {
-	h := gateOut.Cols()
+	out := tensor.New(len(tokenIDs), gateOut.Cols())
+	GatherInto(out, gateOut, tokenIDs)
+	return out
+}
+
+// GatherInto is Gather into the preallocated out [B, H], which is fully
+// overwritten.
+func GatherInto(out, gateOut *tensor.Tensor, tokenIDs []int) {
 	b := len(tokenIDs)
-	out := tensor.New(b, h)
+	if out.Rows() != b || out.Cols() != gateOut.Cols() {
+		panic(fmt.Sprintf("kernels: gather dst shape %v, want [%d,%d]", out.Shape(), b, gateOut.Cols()))
+	}
 	tensor.ParallelFor(b, 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			copy(out.Row(i), gateOut.Row(tokenIDs[i]))
 		}
 	})
-	return out
 }
 
 // GatherBackward scatters row gradients back through Gather: it returns
@@ -41,13 +55,24 @@ func Gather(gateOut *tensor.Tensor, tokenIDs []int) *tensor.Tensor {
 // an accumulating scatter grouped by destination row to stay race-free
 // under parallel execution.
 func GatherBackward(dDispatchIn *tensor.Tensor, tokenIDs []int, numTokens int) *tensor.Tensor {
-	h := dDispatchIn.Cols()
-	out := tensor.New(numTokens, h)
-	byToken := groupByDestination(tokenIDs, numTokens)
+	out := tensor.New(numTokens, dDispatchIn.Cols())
+	GatherBackwardInto(out, dDispatchIn, tokenIDs)
+	return out
+}
+
+// GatherBackwardInto is GatherBackward into the preallocated out
+// [numTokens, H]. out must be zero-filled; gradients are accumulated.
+func GatherBackwardInto(out, dDispatchIn *tensor.Tensor, tokenIDs []int) {
+	if out.Cols() != dDispatchIn.Cols() || dDispatchIn.Rows() != len(tokenIDs) {
+		panic(fmt.Sprintf("kernels: gather-backward dst shape %v for %d ids of width %d",
+			out.Shape(), len(tokenIDs), dDispatchIn.Cols()))
+	}
+	numTokens := out.Rows()
+	byToken := GroupByDestination(tokenIDs, numTokens)
 	tensor.ParallelFor(numTokens, 8, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			dst := out.Row(t)
-			for _, i := range byToken[t] {
+			for _, i := range byToken.Sources(t) {
 				src := dDispatchIn.Row(i)
 				for j, v := range src {
 					dst[j] += v
@@ -55,7 +80,6 @@ func GatherBackward(dDispatchIn *tensor.Tensor, tokenIDs []int, numTokens int) *
 			}
 		}
 	})
-	return out
 }
 
 // ScatterCombine reassembles the MoE layer output from expert results:
@@ -67,17 +91,27 @@ func GatherBackward(dDispatchIn *tensor.Tensor, tokenIDs []int, numTokens int) *
 // Rows are grouped by destination token so parallel workers never write
 // the same output row.
 func ScatterCombine(mlpOut *tensor.Tensor, tokenIDs []int, weights []float32, numTokens int) *tensor.Tensor {
+	out := tensor.New(numTokens, mlpOut.Cols())
+	ScatterCombineInto(out, mlpOut, tokenIDs, weights)
+	return out
+}
+
+// ScatterCombineInto is ScatterCombine into the preallocated out
+// [numTokens, H]. out must be zero-filled; rows are accumulated.
+func ScatterCombineInto(out, mlpOut *tensor.Tensor, tokenIDs []int, weights []float32) {
 	if len(tokenIDs) != mlpOut.Rows() || len(weights) != mlpOut.Rows() {
 		panic(fmt.Sprintf("kernels: scatter arity mismatch: %d rows, %d ids, %d weights",
 			mlpOut.Rows(), len(tokenIDs), len(weights)))
 	}
-	h := mlpOut.Cols()
-	out := tensor.New(numTokens, h)
-	byToken := groupByDestination(tokenIDs, numTokens)
+	if out.Cols() != mlpOut.Cols() {
+		panic(fmt.Sprintf("kernels: scatter dst width %d, rows are %d wide", out.Cols(), mlpOut.Cols()))
+	}
+	numTokens := out.Rows()
+	byToken := GroupByDestination(tokenIDs, numTokens)
 	tensor.ParallelFor(numTokens, 8, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
 			dst := out.Row(t)
-			for _, i := range byToken[t] {
+			for _, i := range byToken.Sources(t) {
 				w := weights[i]
 				src := mlpOut.Row(i)
 				for j, v := range src {
@@ -86,7 +120,6 @@ func ScatterCombine(mlpOut *tensor.Tensor, tokenIDs []int, weights []float32, nu
 			}
 		}
 	})
-	return out
 }
 
 // ScatterCombineBackward computes the gradients of ScatterCombine with
@@ -95,9 +128,21 @@ func ScatterCombine(mlpOut *tensor.Tensor, tokenIDs []int, weights []float32, nu
 //	dMlpOut[i, :]  = dCombineOut[tokenIDs[i], :] * weights[i]
 //	dWeights[i]    = <dCombineOut[tokenIDs[i], :], mlpOut[i, :]>
 func ScatterCombineBackward(dCombineOut, mlpOut *tensor.Tensor, tokenIDs []int, weights []float32) (dMlpOut *tensor.Tensor, dWeights []float32) {
-	b, h := mlpOut.Rows(), mlpOut.Cols()
-	dMlpOut = tensor.New(b, h)
-	dWeights = make([]float32, b)
+	dMlpOut = tensor.New(mlpOut.Rows(), mlpOut.Cols())
+	dWeights = make([]float32, mlpOut.Rows())
+	ScatterCombineBackwardInto(dMlpOut, dWeights, dCombineOut, mlpOut, tokenIDs, weights)
+	return dMlpOut, dWeights
+}
+
+// ScatterCombineBackwardInto is ScatterCombineBackward into the
+// preallocated dMlpOut [B, H] and dWeights [B], which are fully
+// overwritten.
+func ScatterCombineBackwardInto(dMlpOut *tensor.Tensor, dWeights []float32, dCombineOut, mlpOut *tensor.Tensor, tokenIDs []int, weights []float32) {
+	b := mlpOut.Rows()
+	if dMlpOut.Rows() != b || len(dWeights) != b || dMlpOut.Cols() != dCombineOut.Cols() {
+		panic(fmt.Sprintf("kernels: scatter-backward dst shape %v/%d, want [%d,%d]/%d",
+			dMlpOut.Shape(), len(dWeights), b, dCombineOut.Cols(), b))
+	}
 	tensor.ParallelFor(b, 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g := dCombineOut.Row(tokenIDs[i])
@@ -112,29 +157,43 @@ func ScatterCombineBackward(dCombineOut, mlpOut *tensor.Tensor, tokenIDs []int, 
 			dWeights[i] = dot
 		}
 	})
-	return dMlpOut, dWeights
 }
 
-// groupByDestination builds, for each destination row in [0, n), the list
+// DestIndex is a CSR-style inverse of a destination-id array: the sources
+// mapping to destination t are Sources(t), in ascending source order.
+// Building it costs three slice allocations regardless of the destination
+// count, replacing the per-destination sub-slices the scatter kernels
+// previously allocated. The routing layers reuse it wherever a
+// counting-sort inverse is needed (e.g. RBD's token bucketing).
+type DestIndex struct {
+	offsets []int
+	perm    []int
+}
+
+// Sources returns the source indices mapping to destination t.
+func (d DestIndex) Sources(t int) []int { return d.perm[d.offsets[t]:d.offsets[t+1]] }
+
+// GroupByDestination builds, for each destination row in [0, n), the list
 // of source indices mapping to it (a counting-sort style inverse of ids).
-func groupByDestination(ids []int, n int) [][]int {
-	counts := make([]int, n)
+func GroupByDestination(ids []int, n int) DestIndex {
+	offsets := make([]int, n+1)
 	for _, t := range ids {
 		if t < 0 || t >= n {
 			panic(fmt.Sprintf("kernels: destination index %d outside [0,%d)", t, n))
 		}
-		counts[t]++
+		offsets[t+1]++
 	}
-	out := make([][]int, n)
-	for t, c := range counts {
-		if c > 0 {
-			out[t] = make([]int, 0, c)
-		}
+	for t := 0; t < n; t++ {
+		offsets[t+1] += offsets[t]
 	}
+	perm := make([]int, len(ids))
+	next := make([]int, n)
+	copy(next, offsets[:n])
 	for i, t := range ids {
-		out[t] = append(out[t], i)
+		perm[next[t]] = i
+		next[t]++
 	}
-	return out
+	return DestIndex{offsets: offsets, perm: perm}
 }
 
 // SequentialGEMM multiplies uneven per-expert row segments of x by each
@@ -145,6 +204,20 @@ func groupByDestination(ids []int, n int) [][]int {
 //
 // x is [B, K] with B = sum(rows); weights[e] is [K, N]. Returns [B, N].
 func SequentialGEMM(x *tensor.Tensor, rows []int, weights []*tensor.Tensor) *tensor.Tensor {
+	n := 0
+	if len(weights) > 0 {
+		n = weights[0].Cols()
+	}
+	out := tensor.New(x.Rows(), n)
+	SequentialGEMMInto(out, x, rows, weights)
+	return out
+}
+
+// SequentialGEMMInto is SequentialGEMM into the preallocated out [B, N],
+// which is fully overwritten (zero-row segments stay zero, so out must be
+// zero-filled when any expert has no tokens — tensor.Pool.Get and
+// tensor.New both satisfy this).
+func SequentialGEMMInto(out, x *tensor.Tensor, rows []int, weights []*tensor.Tensor) {
 	if len(rows) != len(weights) {
 		panic(fmt.Sprintf("kernels: %d segments but %d weight matrices", len(rows), len(weights)))
 	}
@@ -160,7 +233,9 @@ func SequentialGEMM(x *tensor.Tensor, rows []int, weights []*tensor.Tensor) *ten
 	if len(weights) > 0 {
 		n = weights[0].Cols()
 	}
-	out := tensor.New(total, n)
+	if out.Rows() != total || out.Cols() != n {
+		panic(fmt.Sprintf("kernels: sequential-gemm dst shape %v, want [%d,%d]", out.Shape(), total, n))
+	}
 	off := 0
 	for e, r := range rows {
 		if r == 0 {
@@ -175,32 +250,44 @@ func SequentialGEMM(x *tensor.Tensor, rows []int, weights []*tensor.Tensor) *ten
 		tensor.MatMulInto(dst, seg, w)
 		off += r
 	}
-	return out
 }
 
 // SequentialGEMMBackward computes the input and weight gradients of
 // SequentialGEMM: for each segment e, dX_e = dY_e·W_eᵀ and
 // dW_e = X_eᵀ·dY_e. It returns dX [B, K] and one dW per expert.
 func SequentialGEMMBackward(dy, x *tensor.Tensor, rows []int, weights []*tensor.Tensor) (dx *tensor.Tensor, dws []*tensor.Tensor) {
+	dx = tensor.New(x.Rows(), x.Cols())
+	dws = make([]*tensor.Tensor, len(weights))
+	for e, w := range weights {
+		dws[e] = tensor.New(w.Rows(), w.Cols())
+	}
+	SequentialGEMMBackwardInto(dx, dws, dy, x, rows, weights)
+	return dx, dws
+}
+
+// SequentialGEMMBackwardInto is SequentialGEMMBackward into the
+// preallocated dx [B, K] and per-expert dws, which are fully overwritten.
+func SequentialGEMMBackwardInto(dx *tensor.Tensor, dws []*tensor.Tensor, dy, x *tensor.Tensor, rows []int, weights []*tensor.Tensor) {
 	k := x.Cols()
 	n := dy.Cols()
-	dx = tensor.New(x.Rows(), k)
-	dws = make([]*tensor.Tensor, len(weights))
+	if dx.Rows() != x.Rows() || dx.Cols() != k || len(dws) != len(weights) {
+		panic(fmt.Sprintf("kernels: sequential-gemm-backward dst shape %v/%d, want [%d,%d]/%d",
+			dx.Shape(), len(dws), x.Rows(), k, len(weights)))
+	}
 	off := 0
 	for e, r := range rows {
 		w := weights[e]
 		if r == 0 {
-			dws[e] = tensor.New(w.Rows(), w.Cols())
+			dws[e].Zero()
 			continue
 		}
 		segX := tensor.FromSlice(x.Data[off*k:(off+r)*k], r, k)
 		segDY := tensor.FromSlice(dy.Data[off*n:(off+r)*n], r, n)
-		segDX := tensor.MatMulT(segDY, w) // dY [r,n] · (W [k,n])ᵀ = [r,k]
-		copy(dx.Data[off*k:(off+r)*k], segDX.Data)
-		dws[e] = tensor.TMatMul(segX, segDY)
+		segDX := tensor.FromSlice(dx.Data[off*k:(off+r)*k], r, k)
+		tensor.MatMulTInto(segDX, segDY, w) // dY [r,n] · (W [k,n])ᵀ = [r,k]
+		tensor.TMatMulInto(dws[e], segX, segDY)
 		off += r
 	}
-	return dx, dws
 }
 
 // PaddedDispatch builds the conventional zero-padded expert buffer used by
@@ -208,9 +295,16 @@ func SequentialGEMMBackward(dy, x *tensor.Tensor, rows []int, weights []*tensor.
 // token assigned to position c of expert e's buffer, and unused slots stay
 // zero (paper Fig. 2). slotToken[e][c] gives the source token index or -1.
 func PaddedDispatch(x *tensor.Tensor, slotToken [][]int, capacity int) *tensor.Tensor {
+	out := tensor.New(len(slotToken), capacity, x.Cols())
+	PaddedDispatchInto(out, x, slotToken, capacity)
+	return out
+}
+
+// PaddedDispatchInto is PaddedDispatch into the preallocated out
+// [E, C, H]. out must be zero-filled: only occupied slots are written.
+func PaddedDispatchInto(out, x *tensor.Tensor, slotToken [][]int, capacity int) {
 	h := x.Cols()
 	e := len(slotToken)
-	out := tensor.New(e, capacity, h)
 	tensor.ParallelFor(e, 1, func(lo, hi int) {
 		for exp := lo; exp < hi; exp++ {
 			for c, tok := range slotToken[exp] {
@@ -221,7 +315,6 @@ func PaddedDispatch(x *tensor.Tensor, slotToken [][]int, capacity int) *tensor.T
 			}
 		}
 	})
-	return out
 }
 
 // PaddedCombine reverses PaddedDispatch with combine-weight scaling:
@@ -232,6 +325,17 @@ func PaddedCombine(buffer *tensor.Tensor, slotToken [][]int, slotWeight [][]floa
 		h = buffer.Dim(2)
 	}
 	out := tensor.New(numTokens, h)
+	PaddedCombineInto(out, buffer, slotToken, slotWeight, capacity)
+	return out
+}
+
+// PaddedCombineInto is PaddedCombine into the preallocated out
+// [numTokens, H]. out must be zero-filled; slots are accumulated.
+func PaddedCombineInto(out, buffer *tensor.Tensor, slotToken [][]int, slotWeight [][]float32, capacity int) {
+	h := buffer.Cols()
+	if buffer.Rank() == 3 {
+		h = buffer.Dim(2)
+	}
 	for e := range slotToken {
 		for c, tok := range slotToken[e] {
 			if tok < 0 {
@@ -245,5 +349,4 @@ func PaddedCombine(buffer *tensor.Tensor, slotToken [][]int, slotWeight [][]floa
 			}
 		}
 	}
-	return out
 }

@@ -50,6 +50,10 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 	comp := r.C.Comp
 	pft := st.PFT
 	b := pft.B()
+	// Rank-local backward scratch comes from the per-rank arena;
+	// gradients returned to the caller and buffers crossing the
+	// all-to-alls stay allocate-fresh (see PFTForward).
+	pool := r.Pool()
 
 	// --- Scatter-combine backward ----------------------------------------
 	// The forward pass saved combineIn (the returned expert outputs in
@@ -80,7 +84,7 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 	// Received: src-major, per-src rows ordered by local expert — the
 	// same layout as the forward dispatch receive; reorder expert-major.
 	bExp := st.ExpertIn.Rows()
-	dExpertOut := tensor.New(bExp, h)
+	dExpertOut := pool.Get(bExp, h)
 	for src := 0; src < p; src++ {
 		data := recv[src].Data
 		pos := 0
@@ -100,9 +104,19 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 		comp.SequentialGEMM(st.RowsPerLE, f, h)*2 +
 		comp.MemBound(perfmodel.ClassTriton, 2*int64(bExp)*int64(f)*elem)
 	r.Compute(StageBwdExperts, bwdTime)
-	dHidAct, dW2 := kernels.SequentialGEMMBackward(dExpertOut, st.HidAct, st.RowsPerLE, params.W2)
-	dHidPre := tensor.GeLUBackward(dHidAct, st.HidPre)
-	dExpertIn, dW1 := kernels.SequentialGEMMBackward(dHidPre, st.ExpertIn, st.RowsPerLE, params.W1)
+	// dW1/dW2 are returned to the caller, so they allocate fresh; the
+	// hidden-layer gradient chain is pure rank-local scratch.
+	dW2 := newGradTensors(params.W2)
+	dHidAct := pool.Get(bExp, f)
+	kernels.SequentialGEMMBackwardInto(dHidAct, dW2, dExpertOut, st.HidAct, st.RowsPerLE, params.W2)
+	pool.Put(dExpertOut)
+	dHidPre := pool.Get(bExp, f)
+	tensor.GeLUBackwardInto(dHidPre, dHidAct, st.HidPre)
+	pool.Put(dHidAct)
+	dW1 := newGradTensors(params.W1)
+	dExpertIn := pool.Get(bExp, h)
+	kernels.SequentialGEMMBackwardInto(dExpertIn, dW1, dHidPre, st.ExpertIn, st.RowsPerLE, params.W1)
+	pool.Put(dHidPre)
 
 	// --- Reverse dispatch all-to-all ---------------------------------------
 	// Reorder expert-major gradients back to src-major and return them to
@@ -126,9 +140,11 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 		}
 		sendBack[src] = simrt.Part{Data: buf, Bytes: int64(rows) * int64(h) * elem}
 	}
+	// dExpertIn is fully staged into the send-back buffers.
+	pool.Put(dExpertIn)
 	back := r.AlltoAllV(g, StageBwdDispA2A, sendBack)
 
-	dDispIn := tensor.New(b, h)
+	dDispIn := pool.Get(b, h)
 	pos := 0
 	for dst := 0; dst < p; dst++ {
 		d := back[dst].Data
@@ -139,6 +155,21 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 	// --- Gather backward ----------------------------------------------------
 	r.Compute(StageBwdDispatch, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*elem))
 	dx := kernels.GatherBackward(dDispIn, pft.TokenIDs, st.S)
+	pool.Put(dDispIn)
+
+	// The forward state is consumed: its saved intermediates return to
+	// the arena so the next layer's forward pass reuses them.
+	pool.PutAll(st.ExpertIn, st.HidPre, st.HidAct, st.CombineIn)
+	st.ExpertIn, st.HidPre, st.HidAct, st.CombineIn = nil, nil, nil, nil
 
 	return BackwardResult{DX: dx, DW1: dW1, DW2: dW2, DCombineWeights: dWeights}
+}
+
+// newGradTensors allocates one zero gradient tensor per weight tensor.
+func newGradTensors(ws []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws))
+	for e, w := range ws {
+		out[e] = tensor.New(w.Rows(), w.Cols())
+	}
+	return out
 }

@@ -1,0 +1,130 @@
+package moe
+
+import (
+	"testing"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+)
+
+// benchCluster builds a congestion-free cluster for benchmarking.
+func benchCluster(n int) *simrt.Cluster {
+	c := simrt.NewCluster(topology.Frontier(), n, 99)
+	c.Net.DisableCongestion = true
+	return c
+}
+
+// benchConfig is a mid-size layer shape: large enough that the gather /
+// scatter / GEMM kernels dominate, small enough for tight bench loops.
+func benchConfig() Config {
+	return Config{
+		NumExperts:     8,
+		TopK:           2,
+		HModel:         64,
+		HFFN:           32,
+		CapacityFactor: 1.25,
+		BytesPerElem:   2,
+	}
+}
+
+// BenchmarkPFTLayerForwardBackward measures one numeric forward+backward
+// of the padding-free MoE layer on a 4-rank cluster — the paper's hot
+// path (gate, gather dispatch, uneven a2a, sequential GEMM, scatter
+// combine, and the mirrored backward).
+func BenchmarkPFTLayerForwardBackward(b *testing.B) {
+	const world, s = 4, 128
+	cfg := benchConfig()
+	epr := cfg.NumExperts / world
+
+	c := benchCluster(world)
+	g := c.WorldGroup()
+	// Per-rank fixed inputs, built once outside the timed loop.
+	xs := make([]*tensor.Tensor, world)
+	routings := make([]Routing, world)
+	params := make([]*ExpertParams, world)
+	douts := make([]*tensor.Tensor, world)
+	for i := 0; i < world; i++ {
+		rng := tensor.NewRNG(uint64(4200 + i))
+		xs[i] = tensor.Randn(rng, 1, s, cfg.HModel)
+		routings[i] = SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+		params[i] = NewExpertParams(tensor.NewRNG(uint64(77+i)), epr, cfg.HModel, cfg.HFFN)
+		douts[i] = tensor.New(s, cfg.HModel)
+		douts[i].Fill(1)
+	}
+	opts := PipelineOpts{Numeric: true, DropPolicy: DropByCapacityWeight, SaveForBackward: true}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(r *simrt.Rank) error {
+			res := PFTForward(r, g, cfg, s, xs[r.ID], routings[r.ID], params[r.ID], opts)
+			PFTBackward(r, g, cfg, res.State, douts[r.ID], params[r.ID])
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPFTForwardNumeric measures the forward-only numeric pipeline
+// without backward state capture (inference-style steady state).
+func BenchmarkPFTForwardNumeric(b *testing.B) {
+	const world, s = 4, 128
+	cfg := benchConfig()
+	epr := cfg.NumExperts / world
+	c := benchCluster(world)
+	g := c.WorldGroup()
+	xs := make([]*tensor.Tensor, world)
+	routings := make([]Routing, world)
+	params := make([]*ExpertParams, world)
+	for i := 0; i < world; i++ {
+		rng := tensor.NewRNG(uint64(4300 + i))
+		xs[i] = tensor.Randn(rng, 1, s, cfg.HModel)
+		routings[i] = SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+		params[i] = NewExpertParams(tensor.NewRNG(uint64(99+i)), epr, cfg.HModel, cfg.HFFN)
+	}
+	opts := PipelineOpts{Numeric: true, DropPolicy: DropByCapacityWeight}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(r *simrt.Rank) error {
+			PFTForward(r, g, cfg, s, xs[r.ID], routings[r.ID], params[r.ID], opts)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPFTForwardSymbolic measures the metadata-only pipeline used by
+// the large symbolic sweeps (Fig. 9/10): routing, PFT construction, and
+// modeled collectives with no payloads.
+func BenchmarkPFTForwardSymbolic(b *testing.B) {
+	const world, s = 8, 512
+	cfg := benchConfig()
+	cfg.NumExperts = 16
+	c := benchCluster(world)
+	g := c.WorldGroup()
+	routings := make([]Routing, world)
+	for i := 0; i < world; i++ {
+		rng := tensor.NewRNG(uint64(4400 + i))
+		routings[i] = SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+	}
+	opts := PipelineOpts{DropPolicy: DropByCapacityWeight}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := c.Run(func(r *simrt.Rank) error {
+			PFTForward(r, g, cfg, s, nil, routings[r.ID], nil, opts)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package moe
+
+import (
+	"sync"
+	"testing"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+)
+
+// layerPass runs one numeric PFT forward+backward at a fixed seed on a
+// 4-rank cluster and returns, per rank, the output, dX, and the local
+// weight gradients.
+type layerPass struct {
+	out, dx  *tensor.Tensor
+	dw1, dw2 []*tensor.Tensor
+	dcw      []float32
+}
+
+func runFixedSeedLayer(t *testing.T, disablePools bool, iters int) map[int]layerPass {
+	t.Helper()
+	const world, s = 4, 32
+	cfg := distConfig(8, 3)
+	c := simrt.NewCluster(topology.Frontier(), world, 99)
+	c.Net.DisableCongestion = true
+	c.DisablePools = disablePools
+	g := c.WorldGroup()
+	epr := cfg.NumExperts / world
+
+	results := make(map[int]layerPass)
+	var mu sync.Mutex
+	for it := 0; it < iters; it++ {
+		err := c.Run(func(r *simrt.Rank) error {
+			rng := tensor.NewRNG(uint64(3100 + r.ID))
+			x := tensor.Randn(rng, 1, s, cfg.HModel)
+			routing := SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+			params := localParams(g.IndexOf(r.ID), epr, cfg.HModel, cfg.HFFN)
+			res := PFTForward(r, g, cfg, s, x, routing, params, PipelineOpts{
+				Numeric: true, DropPolicy: DropByCapacityWeight, SaveForBackward: true,
+			})
+			dOut := tensor.New(s, cfg.HModel)
+			dOut.Fill(0.5)
+			bwd := PFTBackward(r, g, cfg, res.State, dOut, params)
+			mu.Lock()
+			results[r.ID] = layerPass{
+				out: res.Output, dx: bwd.DX,
+				dw1: bwd.DW1, dw2: bwd.DW2, dcw: bwd.DCombineWeights,
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return results
+}
+
+func bitEqual(t *testing.T, name string, a, b *tensor.Tensor) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: size %d vs %d", name, a.Len(), b.Len())
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: bit mismatch at %d: %v vs %v", name, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// TestPooledLayerBitIdenticalToFresh is the end-to-end determinism
+// regression test: a full numeric PFT forward+backward with the per-rank
+// tensor arenas enabled must be bit-identical to the allocate-fresh
+// execution, including in steady state (third iteration, when every
+// buffer is a recycled arena buffer).
+func TestPooledLayerBitIdenticalToFresh(t *testing.T) {
+	fresh := runFixedSeedLayer(t, true, 1)
+	pooled := runFixedSeedLayer(t, false, 3)
+	for rank, f := range fresh {
+		p := pooled[rank]
+		bitEqual(t, "output", f.out, p.out)
+		bitEqual(t, "dX", f.dx, p.dx)
+		for e := range f.dw1 {
+			bitEqual(t, "dW1", f.dw1[e], p.dw1[e])
+			bitEqual(t, "dW2", f.dw2[e], p.dw2[e])
+		}
+		for i := range f.dcw {
+			if f.dcw[i] != p.dcw[i] {
+				t.Fatalf("rank %d dCombineWeights mismatch at %d", rank, i)
+			}
+		}
+	}
+}
+
+// TestPooledPaddedForwardBitIdenticalToFresh pins the padded pipeline's
+// pooled path against allocate-fresh execution.
+func TestPooledPaddedForwardBitIdenticalToFresh(t *testing.T) {
+	const world, s = 4, 32
+	cfg := distConfig(8, 3)
+	run := func(disablePools bool, iters int) map[int]*tensor.Tensor {
+		c := simrt.NewCluster(topology.Frontier(), world, 99)
+		c.Net.DisableCongestion = true
+		c.DisablePools = disablePools
+		g := c.WorldGroup()
+		outs := make(map[int]*tensor.Tensor)
+		var mu sync.Mutex
+		for it := 0; it < iters; it++ {
+			err := c.Run(func(r *simrt.Rank) error {
+				rng := tensor.NewRNG(uint64(4700 + r.ID))
+				x := tensor.Randn(rng, 1, s, cfg.HModel)
+				routing := SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+				params := localParams(g.IndexOf(r.ID), 2, cfg.HModel, cfg.HFFN)
+				res := PaddedForward(r, g, cfg, s, x, routing, params, PipelineOpts{
+					Numeric: true, DropPolicy: DropNegativeThenPosition,
+				})
+				mu.Lock()
+				outs[r.ID] = res.Output
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outs
+	}
+	fresh := run(true, 1)
+	pooled := run(false, 3)
+	for rank := range fresh {
+		bitEqual(t, "padded output", fresh[rank], pooled[rank])
+	}
+}

@@ -138,6 +138,11 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	combElem := int64(opts.combineBytes(cfg))
 	mem := &r.Dev().Mem
 	comp := r.C.Comp
+	// Rank-local intermediates come from the per-rank arena so the steady
+	// state allocates nothing; buffers whose data crosses the all-to-alls
+	// (dispIn, the send-back staging) stay allocate-fresh because peers
+	// may still read them after the rendezvous.
+	pool := r.Pool()
 
 	// --- Gate + PFT construction ---------------------------------------
 	// Router GEMM [s,H]x[H,E], softmax/top-k, then the sort-based PFT
@@ -162,13 +167,14 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	// Exchange per-destination token counts, then the token payload.
 	segStart := pft.ExpertSegments()
 	send := make([]simrt.Part, p)
+	countsFlat := make([]int, p*epr)
 	for dst := 0; dst < p; dst++ {
 		lo := segStart[dst*epr]
 		hi := b
 		if dst < p-1 {
 			hi = segStart[(dst+1)*epr]
 		}
-		counts := make([]int, epr)
+		counts := countsFlat[dst*epr : (dst+1)*epr]
 		for le := 0; le < epr; le++ {
 			counts[le] = pft.TokensPerExpert[dst*epr+le]
 		}
@@ -202,12 +208,13 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 		}
 	}
 	// blockOff[le][src] = row offset of block (src, le) in expert-major
-	// layout.
+	// layout (rows are views into one flat backing array).
 	blockOff := make([][]int, epr)
 	{
+		blockOffFlat := make([]int, epr*p)
 		off := 0
 		for le := 0; le < epr; le++ {
-			blockOff[le] = make([]int, p)
+			blockOff[le] = blockOffFlat[le*p : (le+1)*p]
 			for src := 0; src < p; src++ {
 				blockOff[le][src] = off
 				off += recvCounts[src][le]
@@ -216,7 +223,7 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	}
 	var expertIn *tensor.Tensor
 	if opts.Numeric {
-		expertIn = tensor.New(bExp, h)
+		expertIn = pool.Get(bExp, h)
 		for src := 0; src < p; src++ {
 			data := recv[src].Data
 			pos := 0
@@ -242,13 +249,16 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	var expertOut *tensor.Tensor
 	var hidPre, hidAct *tensor.Tensor
 	if opts.Numeric {
-		hidPre = kernels.SequentialGEMM(expertIn, rowsPerLE, params.W1)
+		hidPre = pool.Get(bExp, f)
+		kernels.SequentialGEMMInto(hidPre, expertIn, rowsPerLE, params.W1)
 		hidAct = hidPre
 		if opts.SaveForBackward {
-			hidAct = hidPre.Clone()
+			hidAct = pool.Get(bExp, f)
+			hidAct.Copy(hidPre)
 		}
 		tensor.GeLU(hidAct)
-		expertOut = kernels.SequentialGEMM(hidAct, rowsPerLE, params.W2)
+		expertOut = pool.Get(bExp, h)
+		kernels.SequentialGEMMInto(expertOut, hidAct, rowsPerLE, params.W2)
 	}
 
 	// --- Reverse reorder to src-major -----------------------------------
@@ -280,11 +290,20 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	}
 
 	// --- Uneven all-to-all (combine) -------------------------------------
+	if opts.Numeric {
+		// expertOut is fully staged into the send-back buffers; recycle
+		// it (and the activation intermediates when not saved) before the
+		// collective so the next layer reuses the memory.
+		pool.Put(expertOut)
+		if !opts.SaveForBackward {
+			pool.PutAll(expertIn, hidPre)
+		}
+	}
 	back := r.AlltoAllV(g, StageCombineA2A, sendBack)
 	mem.Alloc("A_combine", int64(b)*int64(h)*combElem)
 	var combineIn *tensor.Tensor
 	if opts.Numeric {
-		combineIn = tensor.New(b, h)
+		combineIn = pool.Get(b, h)
 		pos := 0
 		for dst := 0; dst < p; dst++ {
 			d := back[dst].Data
@@ -298,6 +317,9 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 	var out *tensor.Tensor
 	if opts.Numeric {
 		out = kernels.ScatterCombine(combineIn, pft.TokenIDs, pft.CombineWeights, s)
+		if !opts.SaveForBackward {
+			pool.Put(combineIn)
+		}
 	}
 	mem.Alloc("output", int64(s)*int64(h)*elem)
 
@@ -348,6 +370,7 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 	combElem := int64(opts.combineBytes(cfg))
 	mem := &r.Dev().Mem
 	comp := r.C.Comp
+	pool := r.Pool()
 
 	// Two baseline flavours share the padded buffers but differ in how
 	// they are produced: DeepSpeed-style frameworks build a dense
@@ -419,7 +442,7 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 	var expertOut *tensor.Tensor
 	if opts.Numeric {
 		// Expert-major view: rows of local expert le from all sources.
-		expertIn := tensor.New(epr*rowsPerExpert, h)
+		expertIn := pool.Get(epr*rowsPerExpert, h)
 		for src := 0; src < p; src++ {
 			data := recv[src].Data
 			for le := 0; le < epr; le++ {
@@ -432,9 +455,12 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 		for i := range rows {
 			rows[i] = rowsPerExpert
 		}
-		interm := kernels.SequentialGEMM(expertIn, rows, params.W1)
+		interm := pool.Get(epr*rowsPerExpert, f)
+		kernels.SequentialGEMMInto(interm, expertIn, rows, params.W1)
 		tensor.GeLU(interm)
-		expertOut = kernels.SequentialGEMM(interm, rows, params.W2)
+		expertOut = pool.Get(epr*rowsPerExpert, h)
+		kernels.SequentialGEMMInto(expertOut, interm, rows, params.W2)
+		pool.PutAll(expertIn, interm)
 	}
 
 	// --- Even all-to-all (combine) -----------------------------------------
@@ -467,12 +493,15 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 	}
 	var out *tensor.Tensor
 	if opts.Numeric {
-		full := tensor.New(e*capTokens, h)
+		// expertOut is fully staged into the send-back buffers.
+		pool.Put(expertOut)
+		full := pool.Get(e*capTokens, h)
 		for dst := 0; dst < p; dst++ {
 			d := back[dst].Data
 			copy(full.Data[dst*epr*capTokens*h:(dst*epr+epr)*capTokens*h], d)
 		}
 		out = kernels.PaddedCombine(full.Reshape(e, capTokens, h), pa.SlotToken, pa.SlotWeight, capTokens, s)
+		pool.Put(full)
 	}
 	mem.Alloc("output", int64(s)*int64(h)*elem)
 

@@ -78,9 +78,11 @@ func Gate(x, wg *tensor.Tensor, k int) Routing {
 		Weights:    make([][]float32, s),
 		Logits:     make([][]float32, s),
 	}
+	weightsFlat := make([]float32, s*k)
+	logitsFlat := make([]float32, s*k)
 	for t := 0; t < s; t++ {
-		r.Weights[t] = make([]float32, k)
-		r.Logits[t] = make([]float32, k)
+		r.Weights[t] = weightsFlat[t*k : (t+1)*k]
+		r.Logits[t] = logitsFlat[t*k : (t+1)*k]
 		for j, exp := range idx[t] {
 			r.Weights[t][j] = probs.At(t, exp)
 			r.Logits[t][j] = logits.At(t, exp)
@@ -118,17 +120,24 @@ func SyntheticRouting(rng *tensor.RNG, s, e, k int, skew float64) Routing {
 	}
 	total := run
 
+	// Per-token rows are views into flat backing arrays: the symbolic
+	// sweeps build one routing per rank per simulated layer, so the
+	// constant allocation count matters.
 	r := Routing{
 		S:          s,
 		TopExperts: make([][]int, s),
 		Weights:    make([][]float32, s),
 		Logits:     make([][]float32, s),
 	}
+	expertsFlat := make([]int, s*k)
+	weightsFlat := make([]float32, s*k)
+	logitsFlat := make([]float32, s*k)
+	raw := make([]float64, k)
 	chosenSet := make([]bool, e)
 	for t := 0; t < s; t++ {
-		experts := make([]int, k)
-		weights := make([]float32, k)
-		logits := make([]float32, k)
+		experts := expertsFlat[t*k : (t+1)*k]
+		weights := weightsFlat[t*k : (t+1)*k]
+		logits := logitsFlat[t*k : (t+1)*k]
 		for j := 0; j < k; j++ {
 			idx := -1
 			for attempt := 0; attempt < 64; attempt++ {
@@ -161,7 +170,6 @@ func SyntheticRouting(rng *tensor.RNG, s, e, k int, skew float64) Routing {
 		// Combine weights: softmax over k pseudo-scores, descending to
 		// mimic top-k ordering.
 		var sum float64
-		raw := make([]float64, k)
 		for j := range raw {
 			raw[j] = math.Exp(rng.Norm())
 			sum += raw[j]

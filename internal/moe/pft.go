@@ -90,8 +90,30 @@ func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT 
 		entries = kept
 	}
 
-	// Expert-major, stable in flat order (Listing 1 lines 20-21).
-	sort.SliceStable(entries, func(a, b int) bool { return entries[a].expert < entries[b].expert })
+	// Expert-major, stable in flat order (Listing 1 lines 20-21). A
+	// counting sort over the expert bins keeps the flat order within each
+	// expert segment — identical to a stable comparison sort — in
+	// O(B + E) with no comparator indirection; BuildPFT runs once per
+	// rank per simulated layer, so this is sweep-critical.
+	{
+		counts := make([]int, numExperts)
+		for i := range entries {
+			counts[entries[i].expert]++
+		}
+		off := make([]int, numExperts)
+		run := 0
+		for e, c := range counts {
+			off[e] = run
+			run += c
+		}
+		sorted := make([]pftEntry, len(entries))
+		for i := range entries {
+			e := entries[i].expert
+			sorted[off[e]] = entries[i]
+			off[e]++
+		}
+		entries = sorted
+	}
 
 	// Capacity dropping per expert segment.
 	retained := make([]pftEntry, 0, len(entries))
@@ -117,7 +139,7 @@ func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT 
 					}
 					return seg[idx[a]].flat < seg[idx[b]].flat
 				})
-				keep := make(map[int]bool, maxTokenCount)
+				keep := make([]bool, len(seg))
 				for _, i := range idx[:maxTokenCount] {
 					keep[i] = true
 				}

@@ -101,6 +101,145 @@ type Network struct {
 
 	mu       sync.Mutex
 	rngState uint64
+
+	cacheOnce sync.Once
+	cache     *costCache
+}
+
+// costCache memoizes collective costs when the simulator is deterministic
+// (congestion disabled or taken in expectation). The symbolic 1024-GPU
+// sweeps evaluate identical all-to-all patterns once per layer per
+// micro-step; each AlltoAllV is O(p²) link classifications, so the
+// sweep-dominating work collapses to a hash lookup. Cached Cost values
+// are shared: callers must treat BytesByClass as immutable (all in-repo
+// callers only read it).
+//
+// Caches live in a per-machine-configuration registry rather than on the
+// Network: configuration sweeps build a fresh Network per simulated
+// cluster (and figures often build a fresh Machine with identical
+// parameters), so keying on the machine's structural identity keeps the
+// cache warm across an entire sweep and across equal machines, while
+// bounding the registry to the handful of distinct platforms. All
+// Network state that affects a cost (congestion flags and constants,
+// JobRanks) is folded into the per-entry hash key.
+type costCache struct {
+	mu sync.Mutex
+	m  map[uint64]Cost
+}
+
+// machineKey is the comparable structural identity of a topology.Machine
+// as seen by the cost model: every field the simulator reads.
+type machineKey struct {
+	name               string
+	gpusPerNode        int
+	gpusPerPair        int
+	nodesPerRack       int
+	nodeNICBandwidth   float64
+	local, pair        topology.LinkSpec
+	intra, inter, rack topology.LinkSpec
+}
+
+func keyOf(m *topology.Machine) machineKey {
+	return machineKey{
+		name:             m.Name,
+		gpusPerNode:      m.GPUsPerNode,
+		gpusPerPair:      m.GPUsPerPair,
+		nodesPerRack:     m.NodesPerRack,
+		nodeNICBandwidth: m.NodeNICBandwidth,
+		local:            m.Links[topology.LinkLocal],
+		pair:             m.Links[topology.LinkGCDPair],
+		intra:            m.Links[topology.LinkIntraNode],
+		inter:            m.Links[topology.LinkInterNode],
+		rack:             m.Links[topology.LinkCrossRack],
+	}
+}
+
+var netCaches sync.Map // machineKey -> *costCache
+
+// cacheFor resolves this network's shared cost cache once and pins it,
+// so the per-collective fast path is a single pointer read.
+func (n *Network) cacheFor() *costCache {
+	n.cacheOnce.Do(func() {
+		key := keyOf(n.M)
+		if c, ok := netCaches.Load(key); ok {
+			n.cache = c.(*costCache)
+			return
+		}
+		c, _ := netCaches.LoadOrStore(key, &costCache{m: map[uint64]Cost{}})
+		n.cache = c.(*costCache)
+	})
+	return n.cache
+}
+
+// collective kind tags folded into cache keys.
+const (
+	kindAlltoAllV uint64 = iota + 1
+	kindAllReduce
+	kindAllGather
+	kindBroadcast
+	kindBarrier
+)
+
+// cacheBound caps the memo size; pathological workloads that never repeat
+// a pattern reset the map instead of growing without bound.
+const cacheBound = 1 << 16
+
+// deterministic reports whether collective costs are reproducible (and so
+// cacheable): stochastic congestion sampling is off or replaced by its
+// expectation.
+func (n *Network) deterministic() bool {
+	return n.DisableCongestion || n.ExpectedCongestion
+}
+
+// mix folds v into the FNV-style hash h.
+func mix(h, v uint64) uint64 { return (h ^ v) * 1099511628211 }
+
+// hashRanks seeds a collective cache key from the kind tag and the member
+// ranks. JobRanks participates because it widens the congestion scope.
+func (n *Network) hashRanks(kind uint64, ranks []int) uint64 {
+	h := uint64(14695981039346656037)
+	h = mix(h, kind)
+	h = mix(h, uint64(n.JobRanks))
+	var flags uint64
+	if n.DisableCongestion {
+		flags |= 1
+	}
+	if n.ExpectedCongestion {
+		flags |= 2
+	}
+	h = mix(h, flags)
+	c := n.Congestion
+	h = mix(h, math.Float64bits(c.OutlierProb2Racks))
+	h = mix(h, math.Float64bits(c.OutlierProb4Racks))
+	h = mix(h, math.Float64bits(c.OutlierMinDelay))
+	h = mix(h, math.Float64bits(c.OutlierMaxDelay))
+	h = mix(h, math.Float64bits(c.BaseCrossRackSlowdown))
+	h = mix(h, uint64(len(ranks)))
+	for _, r := range ranks {
+		h = mix(h, uint64(r))
+	}
+	return h
+}
+
+// cached returns the memoized cost for key, or computes, stores, and
+// returns it. Concurrent misses on the same key recompute the same
+// deterministic value; last store wins.
+func (n *Network) cached(key uint64, compute func() Cost) Cost {
+	cc := n.cacheFor()
+	cc.mu.Lock()
+	c, ok := cc.m[key]
+	cc.mu.Unlock()
+	if ok {
+		return c
+	}
+	c = compute()
+	cc.mu.Lock()
+	if len(cc.m) >= cacheBound {
+		cc.m = make(map[uint64]Cost, 256)
+	}
+	cc.m[key] = c
+	cc.mu.Unlock()
+	return c
 }
 
 // New returns a network simulator over machine m with the default
@@ -172,6 +311,19 @@ func (n *Network) congestionDelay(racks int, fabricBytes int64) float64 {
 // and takes the bottleneck. Startup costs α are charged per destination
 // message.
 func (n *Network) AlltoAllV(ranks []int, sendBytes [][]int64) Cost {
+	if n.deterministic() {
+		key := n.hashRanks(kindAlltoAllV, ranks)
+		for _, row := range sendBytes {
+			for _, b := range row {
+				key = mix(key, uint64(b))
+			}
+		}
+		return n.cached(key, func() Cost { return n.alltoAllV(ranks, sendBytes) })
+	}
+	return n.alltoAllV(ranks, sendBytes)
+}
+
+func (n *Network) alltoAllV(ranks []int, sendBytes [][]int64) Cost {
 	m := n.M
 	p := len(ranks)
 	byClass := map[topology.LinkClass]int64{}
@@ -295,6 +447,14 @@ func (n *Network) layout(ranks []int) groupLayout {
 // intra-node reduce-scatter, inter-node ring all-reduce on the sharded
 // data (through the shared node NIC), then intra-node all-gather.
 func (n *Network) AllReduce(ranks []int, bytes int64) Cost {
+	if n.deterministic() {
+		key := mix(n.hashRanks(kindAllReduce, ranks), uint64(bytes))
+		return n.cached(key, func() Cost { return n.allReduce(ranks, bytes) })
+	}
+	return n.allReduce(ranks, bytes)
+}
+
+func (n *Network) allReduce(ranks []int, bytes int64) Cost {
 	p := len(ranks)
 	if p <= 1 || bytes == 0 {
 		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
@@ -333,6 +493,17 @@ func (n *Network) AllReduce(ranks []int, bytes int64) Cost {
 // AllGather simulates gathering perRankBytes[i] from each rank to all
 // ranks (ring schedule, hierarchical bandwidth).
 func (n *Network) AllGather(ranks []int, perRankBytes []int64) Cost {
+	if n.deterministic() {
+		key := n.hashRanks(kindAllGather, ranks)
+		for _, b := range perRankBytes {
+			key = mix(key, uint64(b))
+		}
+		return n.cached(key, func() Cost { return n.allGather(ranks, perRankBytes) })
+	}
+	return n.allGather(ranks, perRankBytes)
+}
+
+func (n *Network) allGather(ranks []int, perRankBytes []int64) Cost {
 	p := len(ranks)
 	if p <= 1 {
 		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
@@ -384,6 +555,14 @@ func (n *Network) ReduceScatter(ranks []int, bytes int64) Cost {
 // Broadcast simulates a binomial-tree broadcast of bytes from the first
 // rank to all others.
 func (n *Network) Broadcast(ranks []int, bytes int64) Cost {
+	if n.deterministic() {
+		key := mix(n.hashRanks(kindBroadcast, ranks), uint64(bytes))
+		return n.cached(key, func() Cost { return n.broadcast(ranks, bytes) })
+	}
+	return n.broadcast(ranks, bytes)
+}
+
+func (n *Network) broadcast(ranks []int, bytes int64) Cost {
 	p := len(ranks)
 	if p <= 1 || bytes == 0 {
 		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
@@ -406,6 +585,11 @@ func (n *Network) Broadcast(ranks []int, bytes int64) Cost {
 
 // Barrier returns the synchronisation cost of a barrier among ranks.
 func (n *Network) Barrier(ranks []int) Cost {
+	// Barriers move no bytes, so their cost is always deterministic.
+	return n.cached(n.hashRanks(kindBarrier, ranks), func() Cost { return n.barrier(ranks) })
+}
+
+func (n *Network) barrier(ranks []int) Cost {
 	p := len(ranks)
 	if p <= 1 {
 		return Cost{BytesByClass: map[topology.LinkClass]int64{}}

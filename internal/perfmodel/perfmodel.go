@@ -17,7 +17,11 @@
 // tuned per figure.
 package perfmodel
 
-import "xmoe/internal/topology"
+import (
+	"sync"
+
+	"xmoe/internal/topology"
+)
 
 // KernelClass labels the implementation quality of a non-GEMM operation.
 type KernelClass int
@@ -53,11 +57,41 @@ type Model struct {
 	// GEMMLaunch is the per-GEMM launch overhead in seconds; the
 	// sequential-GEMM expert computation pays it once per local expert.
 	GEMMLaunch float64
+
+	// gemmCache memoizes GEMM times by shape. The symbolic sweeps
+	// evaluate the same few hundred shapes millions of times (every
+	// layer of every rank of every configuration), so the lookup
+	// replaces repeated float math on the hottest modeling path.
+	gemmMu    sync.RWMutex
+	gemmCache map[gemmKey]float64
 }
 
+type gemmKey struct{ m, k, n int }
+
+// models memoizes ForDevice so all clusters simulating the same device
+// share one Model — and therefore one warm GEMM cache — across the many
+// SimulateStep calls of a sweep.
+var (
+	modelsMu sync.Mutex
+	models   = map[topology.DeviceProfile]*Model{}
+)
+
 // ForDevice returns the calibrated model for a known device profile.
-// Unknown devices fall back to the MI250X constants.
+// Unknown devices fall back to the MI250X constants. The returned model
+// is shared and safe for concurrent use.
 func ForDevice(dev topology.DeviceProfile) *Model {
+	modelsMu.Lock()
+	defer modelsMu.Unlock()
+	if m, ok := models[dev]; ok {
+		return m
+	}
+	m := newModel(dev)
+	m.gemmCache = map[gemmKey]float64{}
+	models[dev] = m
+	return m
+}
+
+func newModel(dev topology.DeviceProfile) *Model {
 	switch dev.Name {
 	case "A100-40GB":
 		return &Model{
@@ -113,6 +147,29 @@ func (md *Model) GEMM(m, k, n int) float64 {
 	if m == 0 || k == 0 || n == 0 {
 		return md.GEMMLaunch
 	}
+	if md.gemmCache != nil {
+		key := gemmKey{m, k, n}
+		md.gemmMu.RLock()
+		t, ok := md.gemmCache[key]
+		md.gemmMu.RUnlock()
+		if ok {
+			return t
+		}
+		t = md.gemmTime(m, k, n)
+		md.gemmMu.Lock()
+		if len(md.gemmCache) >= 1<<18 {
+			// Shape diversity is finite in practice; reset rather than
+			// grow without bound if a workload defeats that assumption.
+			md.gemmCache = make(map[gemmKey]float64, 1024)
+		}
+		md.gemmCache[key] = t
+		md.gemmMu.Unlock()
+		return t
+	}
+	return md.gemmTime(m, k, n)
+}
+
+func (md *Model) gemmTime(m, k, n int) float64 {
 	flops := 2 * float64(m) * float64(k) * float64(n)
 	eff := md.BaseGEMMEff * shapeEff(m, k, n)
 	return md.GEMMLaunch + flops/(md.Dev.PeakFLOPs*eff)

@@ -53,13 +53,18 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 	mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
 	var expertOut *tensor.Tensor
 	if opts.Numeric {
-		interm := kernels.SequentialGEMM(expertIn, st.RowsPerLE, params.W1)
+		pool := r.Pool()
+		interm := pool.Get(bExp, f)
+		kernels.SequentialGEMMInto(interm, expertIn, st.RowsPerLE, params.W1)
 		tensor.GeLU(interm)
-		expertOut = kernels.SequentialGEMM(interm, st.RowsPerLE, params.W2)
+		expertOut = pool.Get(bExp, h)
+		kernels.SequentialGEMMInto(expertOut, interm, st.RowsPerLE, params.W2)
+		pool.PutAll(expertIn, interm)
 	}
 
 	// RBD combine (replica gather, merge, pilot return, reconstruction).
 	out := d.Combine(r, st, expertOut, s, Opts{Numeric: opts.Numeric})
+	r.Pool().Put(expertOut)
 
 	if !opts.RetainActivations {
 		mem.Free("eri", pft.ERIBytes())

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"xmoe/internal/kernels"
 	"xmoe/internal/moe"
 	"xmoe/internal/perfmodel"
 	"xmoe/internal/simrt"
@@ -71,6 +72,9 @@ type Dispatcher struct {
 	// nodeMembers maps node id -> EP member indices on that node
 	// (ascending).
 	nodeMembers map[int][]int
+	// slotOfMember[m] is member m's slot within its node group — hoisted
+	// out of the per-layer dispatch hot path.
+	slotOfMember []int
 }
 
 // NewDispatcher builds the dispatcher for EP group ep on cluster c.
@@ -85,6 +89,7 @@ func NewDispatcher(c *simrt.Cluster, ep *simrt.Group, cfg moe.Config) *Dispatche
 		nodeOfMember: make([]int, ep.Size()),
 		nodeGroups:   map[int]*simrt.Group{},
 		nodeMembers:  map[int][]int{},
+		slotOfMember: make([]int, ep.Size()),
 	}
 	for m, rank := range ep.Ranks() {
 		node := c.Machine.NodeOf(rank)
@@ -95,6 +100,7 @@ func NewDispatcher(c *simrt.Cluster, ep *simrt.Group, cfg moe.Config) *Dispatche
 		ranks := make([]int, len(members))
 		for i, m := range members {
 			ranks[i] = ep.Ranks()[m]
+			d.slotOfMember[m] = i
 		}
 		d.nodeGroups[node] = c.NewGroup(ranks)
 	}
@@ -198,30 +204,69 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 
 	// --- Stage 0: pilot selection -----------------------------------------
 	// Group PFT entries by (token, destination node); pick one pilot per
-	// group at random, the rest become replicas referencing it.
-	type groupKey struct{ token, node int }
-	groups := map[groupKey][]int{}
-	for i := 0; i < b; i++ {
-		key := groupKey{pft.TokenIDs[i], d.NodeOfExpert(pft.ExpertIDs[i])}
-		groups[key] = append(groups[key], i)
+	// group at random, the rest become replicas referencing it. Grouping
+	// is map-free: entries are bucketed by token (counting sort), then
+	// each token's ≤k entries are partitioned by node with a small linear
+	// scan. Groups are visited in deterministic (token, first-seen-node)
+	// order, so the randomized pilot choice is reproducible for a fixed
+	// seed.
+	numTokens := 0
+	for _, t := range pft.TokenIDs {
+		if t >= numTokens {
+			numTokens = t + 1
+		}
 	}
+	byToken := kernels.GroupByDestination(pft.TokenIDs, numTokens)
 	isPilot := make([]bool, b)
 	pilotOf := make([]int, b) // replica entry -> pilot entry
-	for _, idxs := range groups {
-		chosen := idxs[0] // PFT is expert-major, so idxs[0] is the lowest expert
-		if opts.Pilots == PilotRandom && len(idxs) > 1 {
-			chosen = idxs[rng.Intn(len(idxs))]
-		}
-		for _, i := range idxs {
-			isPilot[i] = chosen == i
-			pilotOf[i] = chosen
+	{
+		// Per-token scratch, bounded by the routing fan-out and reused
+		// across tokens (the fan-out k is small, so the scans are cheap).
+		nodes := make([]int, 0, 16)
+		grp := make([]int, 0, 16)
+		for t := 0; t < numTokens; t++ {
+			ents := byToken.Sources(t)
+			if len(ents) == 0 {
+				continue
+			}
+			// Distinct destination nodes in first-seen (PFT) order.
+			nodes = nodes[:0]
+			for _, i := range ents {
+				n := d.NodeOfExpert(pft.ExpertIDs[i])
+				seen := false
+				for _, nn := range nodes {
+					if nn == n {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					nodes = append(nodes, n)
+				}
+			}
+			for _, n := range nodes {
+				grp = grp[:0]
+				for _, i := range ents {
+					if d.NodeOfExpert(pft.ExpertIDs[i]) == n {
+						grp = append(grp, i)
+					}
+				}
+				chosen := grp[0] // PFT order, so grp[0] is the lowest expert
+				if opts.Pilots == PilotRandom && len(grp) > 1 {
+					chosen = grp[rng.Intn(len(grp))]
+				}
+				for _, i := range grp {
+					isPilot[i] = chosen == i
+					pilotOf[i] = chosen
+				}
+			}
 		}
 	}
 
 	// Pilot send order: PFT (expert-major) order restricted to pilots,
 	// so per-destination parts are contiguous and expert-sorted.
-	pilotEntry := make([]int, 0, len(groups))
-	pilotSendPos := make(map[int]int, len(groups)) // entry -> global send pos
+	pilotEntry := make([]int, 0, b)
+	pilotSendPos := make([]int, b) // entry -> global send pos (pilots only)
 	for i := 0; i < b; i++ {
 		if isPilot[i] {
 			pilotSendPos[i] = len(pilotEntry)
@@ -243,22 +288,38 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 		partStart[p] = len(pilotEntry)
 	}
 
+	// Part metadata rows are views into flat backing arrays (constant
+	// allocation count regardless of the EP size).
 	metas := make([]s1Meta, p)
+	countsFlat := make([]int, p*d.EPR)
+	weightsFlat := make([]float32, len(pilotEntry))
 	for dst := 0; dst < p; dst++ {
-		n := partStart[dst+1] - partStart[dst]
-		metas[dst] = s1Meta{counts: make([]int, d.EPR), weights: make([]float32, n)}
-		for pos := 0; pos < n; pos++ {
-			ent := pilotEntry[partStart[dst]+pos]
+		lo, hi := partStart[dst], partStart[dst+1]
+		metas[dst] = s1Meta{counts: countsFlat[dst*d.EPR : (dst+1)*d.EPR], weights: weightsFlat[lo:hi]}
+		for pos := 0; pos < hi-lo; pos++ {
+			ent := pilotEntry[lo+pos]
 			metas[dst].counts[pft.ExpertIDs[ent]-dst*d.EPR]++
 			metas[dst].weights[pos] = pft.CombineWeights[ent]
 		}
 	}
 	replicaCount := 0
+	replicasPerDst := make([]int, p+1)
 	for i := 0; i < b; i++ {
 		if isPilot[i] {
 			continue
 		}
 		replicaCount++
+		replicasPerDst[d.memberOfExpert(pft.ExpertIDs[pilotOf[i]])+1]++
+	}
+	replicasFlat := make([]replicaMeta, replicaCount)
+	for dst := 0; dst < p; dst++ {
+		replicasPerDst[dst+1] += replicasPerDst[dst]
+		metas[dst].replicas = replicasFlat[replicasPerDst[dst]:replicasPerDst[dst]]
+	}
+	for i := 0; i < b; i++ {
+		if isPilot[i] {
+			continue
+		}
 		pe := pilotOf[i]
 		dst := d.memberOfExpert(pft.ExpertIDs[pe])
 		metas[dst].replicas = append(metas[dst].replicas, replicaMeta{
@@ -307,7 +368,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	st.pilotRowsTotal = total
 	mem.Alloc("rbd_pilot_recv", int64(total)*int64(h)*elem)
 	if opts.Numeric {
-		st.pilotRows = tensor.New(total, h)
+		st.pilotRows = r.Pool().Get(total, h)
 		for src, part := range recv {
 			if len(part.Data) > 0 {
 				copy(st.pilotRows.Data[st.pilotPartOff[src]*h:], part.Data)
@@ -320,26 +381,34 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	// node, ordered by ascending expert id (the paper's contiguous,
 	// destination-ordered local exchange buffer).
 	nodeMembers := d.nodeMembers[myNode]
-	memberSlot := make(map[int]int, len(nodeMembers)) // EP member -> node-group slot
-	for slot, m := range nodeMembers {
-		memberSlot[m] = slot
-	}
 	type stagedReplica struct {
 		pilotAbs int
 		meta     replicaMeta
 	}
-	staged := make([][]stagedReplica, len(nodeMembers))
+	// Count per destination slot, then fill flat-backed views.
 	nReplicasIn := 0
+	stagedCount := make([]int, len(nodeMembers)+1)
+	for src := range recv {
+		for _, rm := range recvMetas[src].replicas {
+			dm := d.memberOfExpert(rm.expert)
+			if d.nodeOfMember[dm] != myNode {
+				panic(fmt.Sprintf("rbd: replica for expert %d routed off-node", rm.expert))
+			}
+			stagedCount[d.slotOfMember[dm]+1]++
+			nReplicasIn++
+		}
+	}
+	staged := make([][]stagedReplica, len(nodeMembers))
+	stagedFlat := make([]stagedReplica, nReplicasIn)
+	for slot := range staged {
+		stagedCount[slot+1] += stagedCount[slot]
+		staged[slot] = stagedFlat[stagedCount[slot]:stagedCount[slot]]
+	}
 	for src := range recv {
 		for _, rm := range recvMetas[src].replicas {
 			abs := st.pilotPartOff[src] + rm.pilotRel // re-encode to absolute
-			dm := d.memberOfExpert(rm.expert)
-			slot, ok := memberSlot[dm]
-			if !ok {
-				panic(fmt.Sprintf("rbd: replica for expert %d routed off-node", rm.expert))
-			}
+			slot := d.slotOfMember[d.memberOfExpert(rm.expert)]
 			staged[slot] = append(staged[slot], stagedReplica{pilotAbs: abs, meta: rm})
-			nReplicasIn++
 		}
 	}
 	// Stable order by expert id within each destination (the paper keeps
@@ -393,6 +462,31 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	// per local expert.
 	st.expertRows = make([][]rowRef, d.EPR)
 	st.RowsPerLE = make([]int, d.EPR)
+	rowsOff := make([]int, d.EPR+1)
+	for src := 0; src < p; src++ {
+		for le := 0; le < d.EPR; le++ {
+			rowsOff[le+1] += st.recvPilotCounts[src][le]
+		}
+	}
+	for src := range s2Recv {
+		for _, rm := range st.s2RecvMeta[src] {
+			le := rm.expert - me*d.EPR
+			if le < 0 || le >= d.EPR {
+				panic(fmt.Sprintf("rbd: stage-2 replica for expert %d landed on wrong rank", rm.expert))
+			}
+			rowsOff[le+1]++
+		}
+	}
+	totalRows := 0
+	for le := 0; le < d.EPR; le++ {
+		rowsOff[le+1] += rowsOff[le]
+		st.RowsPerLE[le] = rowsOff[le+1] - rowsOff[le]
+		totalRows += st.RowsPerLE[le]
+	}
+	rowsFlat := make([]rowRef, totalRows)
+	for le := range st.expertRows {
+		st.expertRows[le] = rowsFlat[rowsOff[le]:rowsOff[le]]
+	}
 	for src := 0; src < p; src++ {
 		pos := 0
 		for le := 0; le < d.EPR; le++ {
@@ -407,23 +501,15 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	for src := range s2Recv {
 		for pos, rm := range st.s2RecvMeta[src] {
 			le := rm.expert - me*d.EPR
-			if le < 0 || le >= d.EPR {
-				panic(fmt.Sprintf("rbd: stage-2 replica for expert %d landed on wrong rank", rm.expert))
-			}
 			st.expertRows[le] = append(st.expertRows[le], rowRef{part: src, pos: pos})
 		}
-	}
-	totalRows := 0
-	for le := range st.expertRows {
-		st.RowsPerLE[le] = len(st.expertRows[le])
-		totalRows += st.RowsPerLE[le]
 	}
 	r.Compute(StageReconstruct, comp.MemBound(perfmodel.ClassTriton, 2*int64(totalRows)*int64(h)*elem))
 	mem.Alloc("rbd_expert_in", int64(totalRows)*int64(h)*elem)
 
 	var expertIn *tensor.Tensor
 	if opts.Numeric {
-		expertIn = tensor.New(totalRows, h)
+		expertIn = r.Pool().Get(totalRows, h)
 		row := 0
 		for le := range st.expertRows {
 			for _, ref := range st.expertRows[le] {
@@ -437,6 +523,10 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 				row++
 			}
 		}
+		// pilotRows is fully consumed (stage-2 staging and the rows just
+		// copied above); return it to the rank arena.
+		r.Pool().Put(st.pilotRows)
+		st.pilotRows = nil
 	}
 	return st, expertIn
 }
@@ -458,7 +548,7 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 	var pilotOut *tensor.Tensor
 	replicaOut := make([][]float32, len(st.s2RecvCount))
 	if opts.Numeric {
-		pilotOut = tensor.New(st.pilotRowsTotal, h)
+		pilotOut = r.Pool().Get(st.pilotRowsTotal, h)
 		for src := range replicaOut {
 			replicaOut[src] = make([]float32, st.s2RecvCount[src]*h)
 		}
@@ -520,6 +610,7 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 				}
 			}
 		}
+		r.Pool().Put(pilotOut)
 	}
 	mem.Alloc("rbd_merged", int64(st.pilotRowsTotal)*int64(h)*elem)
 

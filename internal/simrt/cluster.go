@@ -22,6 +22,7 @@ import (
 
 	"xmoe/internal/netsim"
 	"xmoe/internal/perfmodel"
+	"xmoe/internal/tensor"
 	"xmoe/internal/topology"
 	"xmoe/internal/trace"
 )
@@ -100,6 +101,11 @@ type Device struct {
 	Mem MemTracker
 	// Profile describes the device's capability.
 	Profile topology.DeviceProfile
+	// pool is the rank-local tensor arena: numeric pipelines draw their
+	// steady-state intermediates from it instead of allocating fresh
+	// buffers every layer. It persists across Cluster.Run invocations,
+	// mirroring a framework's reusable device workspace.
+	pool tensor.Pool
 }
 
 // OOM reports whether the device's peak allocation exceeded its capacity.
@@ -112,7 +118,12 @@ type Cluster struct {
 	Net      *netsim.Network
 	Comp     *perfmodel.Model
 	NumRanks int
-	devices  []*Device
+	// DisablePools turns off the per-rank tensor arenas: Rank.Pool
+	// returns nil and pipelines fall back to allocate-fresh buffers.
+	// The determinism regression tests use this to compare pooled and
+	// fresh execution bit for bit.
+	DisablePools bool
+	devices      []*Device
 }
 
 // NewCluster creates a cluster of n ranks on machine m, seeding the
@@ -150,6 +161,18 @@ type Rank struct {
 
 // Dev returns this rank's device.
 func (r *Rank) Dev() *Device { return r.C.devices[r.ID] }
+
+// Pool returns this rank's tensor arena (nil when the cluster disables
+// pooling; a nil pool safely degrades to allocate-fresh). Buffers whose
+// data crosses rank boundaries through a collective must NOT be pooled —
+// peers may still be reading them after the rendezvous — so pipelines
+// only draw rank-local intermediates from the pool.
+func (r *Rank) Pool() *tensor.Pool {
+	if r.C.DisablePools {
+		return nil
+	}
+	return &r.C.devices[r.ID].pool
+}
 
 // Compute advances the rank's clock by dur seconds, recording the span
 // under name.

@@ -39,15 +39,20 @@ func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
 	}
 	start := r.Clock
 	res := g.collect(r, a2avEntry{parts: send}, func(entries []any, _ []float64) any {
+		// Row slices view two flat backing arrays: large groups would
+		// otherwise pay 2p allocations per collective, which dominates
+		// the symbolic sweeps at 256-1024 ranks.
 		p := len(entries)
 		bytes := make([][]int64, p)
+		bytesFlat := make([]int64, p*p)
 		recv := make([][]Part, p)
+		recvFlat := make([]Part, p*p)
 		for d := range recv {
-			recv[d] = make([]Part, p)
+			bytes[d] = bytesFlat[d*p : (d+1)*p]
+			recv[d] = recvFlat[d*p : (d+1)*p]
 		}
 		for s, e := range entries {
 			ent := e.(a2avEntry)
-			bytes[s] = make([]int64, p)
 			for d, part := range ent.parts {
 				bytes[s][d] = part.Bytes
 				recv[d][s] = part
@@ -138,11 +143,19 @@ type bcastResult struct {
 }
 
 // Broadcast distributes root's part (root is a member index) to all
-// members and returns it.
+// members and returns it. The payload is cloned inside the rendezvous —
+// while every member is parked — so the returned Part never aliases the
+// root's buffer and the root may overwrite its own data immediately after
+// the call without racing slower receivers.
 func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
 	start := r.Clock
 	res := g.collect(r, part, func(entries []any, _ []float64) any {
 		p := entries[rootIdx].(Part)
+		if p.Data != nil {
+			d := make([]float32, len(p.Data))
+			copy(d, p.Data)
+			p.Data = d
+		}
 		return bcastResult{cost: g.c.Net.Broadcast(g.ranks, p.Bytes), part: p}
 	}).(bcastResult)
 	r.Clock += res.cost.Seconds

@@ -15,12 +15,20 @@ func ReLU(t *Tensor) {
 // dY[i] where x[i] > 0 and zero elsewhere. The result is a new tensor.
 func ReLUBackward(dy, x *Tensor) *Tensor {
 	dx := New(x.shape...)
+	ReLUBackwardInto(dx, dy, x)
+	return dx
+}
+
+// ReLUBackwardInto computes ReLUBackward into the preallocated dx, which
+// is overwritten. Bit-identical to ReLUBackward.
+func ReLUBackwardInto(dx, dy, x *Tensor) {
 	for i, v := range x.Data {
 		if v > 0 {
 			dx.Data[i] = dy.Data[i]
+		} else {
+			dx.Data[i] = 0
 		}
 	}
-	return dx
 }
 
 // GeLU applies the tanh-approximated Gaussian error linear unit in place,
@@ -36,8 +44,15 @@ func GeLU(t *Tensor) {
 // GeLUBackward computes dX from dY given the forward input x for the
 // tanh-approximated GeLU.
 func GeLUBackward(dy, x *Tensor) *Tensor {
-	const c = 0.7978845608028654
 	dx := New(x.shape...)
+	GeLUBackwardInto(dx, dy, x)
+	return dx
+}
+
+// GeLUBackwardInto computes GeLUBackward into the preallocated dx, which
+// is overwritten. Bit-identical to GeLUBackward.
+func GeLUBackwardInto(dx, dy, x *Tensor) {
+	const c = 0.7978845608028654
 	for i, v := range x.Data {
 		x := float64(v)
 		inner := c * (x + 0.044715*x*x*x)
@@ -47,7 +62,6 @@ func GeLUBackward(dy, x *Tensor) *Tensor {
 		grad := 0.5*(1+th) + 0.5*x*sech2*dinner
 		dx.Data[i] = dy.Data[i] * float32(grad)
 	}
-	return dx
 }
 
 // SiLU applies x*sigmoid(x) elementwise in place (the activation used by
@@ -62,11 +76,17 @@ func SiLU(t *Tensor) {
 // SiLUBackward computes dX from dY given the forward input x.
 func SiLUBackward(dy, x *Tensor) *Tensor {
 	dx := New(x.shape...)
+	SiLUBackwardInto(dx, dy, x)
+	return dx
+}
+
+// SiLUBackwardInto computes SiLUBackward into the preallocated dx, which
+// is overwritten. Bit-identical to SiLUBackward.
+func SiLUBackwardInto(dx, dy, x *Tensor) {
 	for i, v := range x.Data {
 		x := float64(v)
 		s := 1 / (1 + math.Exp(-x))
 		grad := s * (1 + x*(1-s))
 		dx.Data[i] = dy.Data[i] * float32(grad)
 	}
-	return dx
 }

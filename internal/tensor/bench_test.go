@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkParallelFor(b *testing.B) {
+	dst := make([]float32, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelFor(len(dst), 1024, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				dst[j] += 1
+			}
+		})
+	}
+}
+
+// BenchmarkParallelForNested models simrt's execution shape: many rank
+// goroutines concurrently issuing parallel kernels, which previously
+// oversubscribed the machine with spawned goroutines.
+func BenchmarkParallelForNested(b *testing.B) {
+	const ranks = 16
+	bufs := make([][]float32, ranks)
+	for i := range bufs {
+		bufs[i] = make([]float32, 1<<14)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for rk := 0; rk < ranks; rk++ {
+			wg.Add(1)
+			go func(rk int) {
+				defer wg.Done()
+				buf := bufs[rk]
+				ParallelFor(len(buf), 512, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						buf[j] += 1
+					}
+				})
+			}(rk)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := NewRNG(1)
+	a := Randn(rng, 1, 128, 128)
+	w := Randn(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, w)
+	}
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	rng := NewRNG(1)
+	a := Randn(rng, 1, 128, 128)
+	w := Randn(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(a, w)
+	}
+}
+
+func BenchmarkTMatMul(b *testing.B) {
+	rng := NewRNG(1)
+	a := Randn(rng, 1, 128, 128)
+	w := Randn(rng, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMul(a, w)
+	}
+}
+
+func BenchmarkGeLUBackward(b *testing.B) {
+	rng := NewRNG(1)
+	x := Randn(rng, 1, 256, 128)
+	dy := Randn(rng, 1, 256, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GeLUBackward(dy, x)
+	}
+}

@@ -61,12 +61,20 @@ func MatMulInto(c, a, b *Tensor) {
 // activations against weight matrices stored output-major, and for the
 // dX = dY·Wᵀ backward rule when W is stored as [k,n] transposed views.
 func MatMulT(a, b *Tensor) *Tensor {
+	c := New(a.Rows(), b.Rows())
+	MatMulTInto(c, a, b)
+	return c
+}
+
+// MatMulTInto computes C = A·Bᵀ into the preallocated tensor c, which must
+// have shape [m,n] for A [m,k] and B [n,k]. c is overwritten. The result
+// is bit-identical to MatMulT.
+func MatMulTInto(c, a, b *Tensor) {
 	m, k := a.Rows(), a.Cols()
 	n, k2 := b.Rows(), b.Cols()
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: matmulT shape mismatch %v x %vᵀ", a.shape, b.shape))
+	if k != k2 || c.Rows() != m || c.Cols() != n {
+		panic(fmt.Sprintf("tensor: matmulT shape mismatch C%v = A%v x B%vᵀ", c.shape, a.shape, b.shape))
 	}
-	c := New(m, n)
 	ParallelFor(m, 8, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai := a.Data[i*k : (i+1)*k]
@@ -81,23 +89,33 @@ func MatMulT(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return c
 }
 
 // TMatMul computes C = Aᵀ·B for A of shape [k,m] and B of shape [k,n],
 // returning a new [m,n] tensor. This is the dW = Xᵀ·dY backward rule.
 func TMatMul(a, b *Tensor) *Tensor {
+	c := New(a.Cols(), b.Cols())
+	TMatMulInto(c, a, b)
+	return c
+}
+
+// TMatMulInto computes C = Aᵀ·B into the preallocated tensor c, which must
+// have shape [m,n] for A [k,m] and B [k,n]. c is overwritten. The result
+// is bit-identical to TMatMul.
+func TMatMulInto(c, a, b *Tensor) {
 	k, m := a.Rows(), a.Cols()
 	k2, n := b.Rows(), b.Cols()
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: tmatmul shape mismatch %vᵀ x %v", a.shape, b.shape))
+	if k != k2 || c.Rows() != m || c.Cols() != n {
+		panic(fmt.Sprintf("tensor: tmatmul shape mismatch C%v = A%vᵀ x B%v", c.shape, a.shape, b.shape))
 	}
-	c := New(m, n)
 	// Parallelise over rows of the output; each output row i accumulates
 	// a[p][i] * b[p][:] over all p, reading B rows contiguously.
 	ParallelFor(m, 4, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ci := c.Data[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
 			for p := 0; p < k; p++ {
 				av := a.Data[p*m+i]
 				if av == 0 {
@@ -110,7 +128,6 @@ func TMatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	})
-	return c
 }
 
 // MatMulFLOPs returns the floating-point operation count of an [m,k]x[k,n]

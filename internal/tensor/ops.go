@@ -61,6 +61,10 @@ func LogSoftmaxRows(t *Tensor) *Tensor {
 // values of its k largest entries in descending value order. Ties are
 // broken by lower index first, matching the deterministic behaviour the
 // routing tests rely on.
+//
+// Per-row results are views into two flat backing arrays (k-selection by
+// repeated scan, no per-row sort or allocation), so a call costs four
+// allocations regardless of the row count.
 func TopK(t *Tensor, k int) (indices [][]int, values [][]float32) {
 	rows, cols := t.Rows(), t.Cols()
 	if k > cols {
@@ -68,24 +72,28 @@ func TopK(t *Tensor, k int) (indices [][]int, values [][]float32) {
 	}
 	indices = make([][]int, rows)
 	values = make([][]float32, rows)
+	indFlat := make([]int, rows*k)
+	valFlat := make([]float32, rows*k)
 	ParallelFor(rows, 16, func(lo, hi int) {
+		taken := make([]bool, cols)
 		for i := lo; i < hi; i++ {
 			row := t.Data[i*cols : (i+1)*cols]
-			idx := make([]int, cols)
-			for j := range idx {
-				idx[j] = j
-			}
-			sort.SliceStable(idx, func(a, b int) bool {
-				if row[idx[a]] != row[idx[b]] {
-					return row[idx[a]] > row[idx[b]]
-				}
-				return idx[a] < idx[b]
-			})
-			ind := make([]int, k)
-			val := make([]float32, k)
+			ind := indFlat[i*k : (i+1)*k]
+			val := valFlat[i*k : (i+1)*k]
 			for j := 0; j < k; j++ {
-				ind[j] = idx[j]
-				val[j] = row[idx[j]]
+				best := -1
+				for c := 0; c < cols; c++ {
+					// Strict > keeps the lowest index on ties.
+					if !taken[c] && (best < 0 || row[c] > row[best]) {
+						best = c
+					}
+				}
+				taken[best] = true
+				ind[j] = best
+				val[j] = row[best]
+			}
+			for j := 0; j < k; j++ {
+				taken[ind[j]] = false
 			}
 			indices[i] = ind
 			values[i] = val

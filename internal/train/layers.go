@@ -31,8 +31,9 @@ func (p *Param) ZeroGrad() { p.G.Zero() }
 
 // Linear is a bias-free dense layer y = x·W.
 type Linear struct {
-	P *Param
-	x *tensor.Tensor // cached input
+	P  *Param
+	x  *tensor.Tensor // cached input
+	dw *tensor.Tensor // persistent dW scratch (same shape as W)
 }
 
 // NewLinear initialises a [in, out] projection with the given std.
@@ -46,10 +47,25 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.MatMul(x, l.P.W)
 }
 
-// Backward accumulates dW and returns dX.
+// Backward accumulates dW and returns dX. The weight-gradient GEMM runs
+// into a persistent scratch tensor then accumulates, preserving the
+// summation order of the allocate-fresh path bit for bit.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	l.P.G.Add(tensor.TMatMul(l.x, dy))
+	l.dw = ensureShape(l.dw, l.P.W.Rows(), l.P.W.Cols())
+	tensor.TMatMulInto(l.dw, l.x, dy)
+	l.P.G.Add(l.dw)
 	return tensor.MatMulT(dy, l.P.W)
+}
+
+// ensureShape returns t when it already has shape [rows, cols], otherwise
+// a fresh zero tensor of that shape. Steady-state training reuses the
+// same buffer every step; shape changes (first step, new batch geometry)
+// fall back to allocation.
+func ensureShape(t *tensor.Tensor, rows, cols int) *tensor.Tensor {
+	if t != nil && t.Rows() == rows && t.Cols() == cols {
+		return t
+	}
+	return tensor.New(rows, cols)
 }
 
 // Embedding maps token ids to dense rows.
@@ -88,6 +104,8 @@ type Attention struct {
 	scale          float32
 	// caches
 	x, q, k, v, probs, z *tensor.Tensor
+	// persistent backward scratch (shapes are fixed for a fixed S)
+	dscores *tensor.Tensor
 }
 
 // NewAttention builds the block for hidden size h.
@@ -131,7 +149,9 @@ func (a *Attention) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dprobs := tensor.MatMulT(dz, a.v) // [S, S]
 	dv := tensor.TMatMul(a.probs, dz) // [S, H]
 	// Softmax backward per row: dscore = p * (dprob - <dprob, p>).
-	dscores := tensor.New(s, s)
+	dscores := ensureShape(a.dscores, s, s)
+	dscores.Zero()
+	a.dscores = dscores
 	for i := 0; i < s; i++ {
 		p := a.probs.Row(i)
 		dp := dprobs.Row(i)
@@ -179,6 +199,17 @@ type MoEFFN struct {
 	expertOut *tensor.Tensor
 	rows      []int
 	perm      []int // PFT order -> expert-major order
+
+	// pool is the block's private arena: the routed-token intermediates
+	// (whose row count b varies step to step with the routing) cycle
+	// through it, so steady-state training stops allocating. Weight
+	// views and per-expert gradient scratch persist across steps.
+	pool       tensor.Pool
+	w1v, w2v   []*tensor.Tensor // weight views passed to the kernels
+	dw1s, dw2s []*tensor.Tensor // per-expert dW scratch
+	dWeights   []float32
+	dProbs     *tensor.Tensor
+	dLogits    *tensor.Tensor
 }
 
 // NewMoEFFN builds the block.
@@ -197,12 +228,31 @@ func NewMoEFFN(rng *tensor.RNG, cfg moe.Config, policy moe.DropPolicy) *MoEFFN {
 	return m
 }
 
+// weightViews refreshes the cached []*tensor.Tensor views of the expert
+// weights that the sequential-GEMM kernels consume.
+func (m *MoEFFN) weightViews() (w1, w2 []*tensor.Tensor) {
+	if m.w1v == nil {
+		m.w1v = make([]*tensor.Tensor, m.Cfg.NumExperts)
+		m.w2v = make([]*tensor.Tensor, m.Cfg.NumExperts)
+	}
+	for e := range m.w1v {
+		m.w1v[e] = m.W1[e].W
+		m.w2v[e] = m.W2[e].W
+	}
+	return m.w1v, m.w2v
+}
+
 // Forward routes x [S, H] through the MoE block.
 func (m *MoEFFN) Forward(x *tensor.Tensor) *tensor.Tensor {
 	s := x.Rows()
 	m.x = x
+	// Recycle the previous step's routed-token buffers (a no-op on the
+	// first step or when Backward already returned them).
+	m.pool.PutAll(m.probs, m.dispIn, m.hidPre, m.hidAct, m.expertOut)
+	m.probs, m.dispIn, m.hidPre, m.hidAct, m.expertOut = nil, nil, nil, nil, nil
 	m.logits = m.Router.Forward(x)
-	m.probs = m.logits.Clone()
+	m.probs = m.pool.Get(m.logits.Shape()...)
+	m.probs.Copy(m.logits)
 	tensor.SoftmaxRows(m.probs)
 	idx, _ := tensor.TopK(m.probs, m.Cfg.TopK)
 
@@ -212,10 +262,12 @@ func (m *MoEFFN) Forward(x *tensor.Tensor) *tensor.Tensor {
 		Weights:    make([][]float32, s),
 		Logits:     make([][]float32, s),
 	}
+	k := m.Cfg.TopK
+	weightsFlat := make([]float32, s*k)
+	logitsFlat := make([]float32, s*k)
 	for t := 0; t < s; t++ {
-		k := len(idx[t])
-		routing.Weights[t] = make([]float32, k)
-		routing.Logits[t] = make([]float32, k)
+		routing.Weights[t] = weightsFlat[t*k : (t+1)*k]
+		routing.Logits[t] = logitsFlat[t*k : (t+1)*k]
 		for j, e := range idx[t] {
 			routing.Weights[t][j] = m.probs.At(t, e)
 			routing.Logits[t][j] = m.logits.At(t, e)
@@ -225,19 +277,19 @@ func (m *MoEFFN) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 	// Dispatch (gather) — entries are already expert-major, so the
 	// sequential GEMM consumes them directly.
-	m.dispIn = kernels.Gather(x, m.pft.TokenIDs)
-	m.rows = append([]int(nil), m.pft.TokensPerExpert...)
+	b := m.pft.B()
+	m.dispIn = m.pool.Get(b, m.Cfg.HModel)
+	kernels.GatherInto(m.dispIn, x, m.pft.TokenIDs)
+	m.rows = append(m.rows[:0], m.pft.TokensPerExpert...)
 
-	w1 := make([]*tensor.Tensor, m.Cfg.NumExperts)
-	w2 := make([]*tensor.Tensor, m.Cfg.NumExperts)
-	for e := range w1 {
-		w1[e] = m.W1[e].W
-		w2[e] = m.W2[e].W
-	}
-	m.hidPre = kernels.SequentialGEMM(m.dispIn, m.rows, w1)
-	m.hidAct = m.hidPre.Clone()
+	w1, w2 := m.weightViews()
+	m.hidPre = m.pool.Get(b, m.Cfg.HFFN)
+	kernels.SequentialGEMMInto(m.hidPre, m.dispIn, m.rows, w1)
+	m.hidAct = m.pool.Get(b, m.Cfg.HFFN)
+	m.hidAct.Copy(m.hidPre)
 	tensor.GeLU(m.hidAct)
-	m.expertOut = kernels.SequentialGEMM(m.hidAct, m.rows, w2)
+	m.expertOut = m.pool.Get(b, m.Cfg.HModel)
+	kernels.SequentialGEMMInto(m.expertOut, m.hidAct, m.rows, w2)
 
 	return kernels.ScatterCombine(m.expertOut, m.pft.TokenIDs, m.pft.CombineWeights, s)
 }
@@ -247,38 +299,60 @@ func (m *MoEFFN) Forward(x *tensor.Tensor) *tensor.Tensor {
 // expert outputs and through the combine weights into the router softmax.
 func (m *MoEFFN) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	s := m.x.Rows()
+	b := m.pft.B()
 
 	// Combine backward: per-row expert-output grads and combine-weight
 	// grads.
-	dExpertOut, dWeights := kernels.ScatterCombineBackward(dy, m.expertOut, m.pft.TokenIDs, m.pft.CombineWeights)
-
-	// Expert FFN backward.
-	w2 := make([]*tensor.Tensor, m.Cfg.NumExperts)
-	w1 := make([]*tensor.Tensor, m.Cfg.NumExperts)
-	for e := range w2 {
-		w2[e] = m.W2[e].W
-		w1[e] = m.W1[e].W
+	dExpertOut := m.pool.Get(b, m.Cfg.HModel)
+	if cap(m.dWeights) < b {
+		m.dWeights = make([]float32, b)
 	}
-	dHidAct, dW2 := kernels.SequentialGEMMBackward(dExpertOut, m.hidAct, m.rows, w2)
-	dHidPre := tensor.GeLUBackward(dHidAct, m.hidPre)
-	dDispIn, dW1 := kernels.SequentialGEMMBackward(dHidPre, m.dispIn, m.rows, w1)
-	for e := range dW1 {
-		m.W1[e].G.Add(dW1[e])
-		m.W2[e].G.Add(dW2[e])
+	dWeights := m.dWeights[:b]
+	kernels.ScatterCombineBackwardInto(dExpertOut, dWeights, dy, m.expertOut, m.pft.TokenIDs, m.pft.CombineWeights)
+
+	// Expert FFN backward. The per-expert dW scratch tensors persist
+	// across steps (expert weight shapes are fixed); the GEMMs overwrite
+	// them and the results accumulate into the gradient params, matching
+	// the allocate-fresh summation order exactly.
+	w1, w2 := m.weightViews()
+	if m.dw1s == nil {
+		m.dw1s = make([]*tensor.Tensor, m.Cfg.NumExperts)
+		m.dw2s = make([]*tensor.Tensor, m.Cfg.NumExperts)
+		for e := 0; e < m.Cfg.NumExperts; e++ {
+			m.dw1s[e] = tensor.New(m.Cfg.HModel, m.Cfg.HFFN)
+			m.dw2s[e] = tensor.New(m.Cfg.HFFN, m.Cfg.HModel)
+		}
+	}
+	dHidAct := m.pool.Get(b, m.Cfg.HFFN)
+	kernels.SequentialGEMMBackwardInto(dHidAct, m.dw2s, dExpertOut, m.hidAct, m.rows, w2)
+	m.pool.Put(dExpertOut)
+	dHidPre := m.pool.Get(b, m.Cfg.HFFN)
+	tensor.GeLUBackwardInto(dHidPre, dHidAct, m.hidPre)
+	m.pool.Put(dHidAct)
+	dDispIn := m.pool.Get(b, m.Cfg.HModel)
+	kernels.SequentialGEMMBackwardInto(dDispIn, m.dw1s, dHidPre, m.dispIn, m.rows, w1)
+	m.pool.Put(dHidPre)
+	for e := range m.dw1s {
+		m.W1[e].G.Add(m.dw1s[e])
+		m.W2[e].G.Add(m.dw2s[e])
 	}
 
 	// Dispatch (gather) backward into the block input.
 	dx := kernels.GatherBackward(dDispIn, m.pft.TokenIDs, s)
+	m.pool.Put(dDispIn)
 
 	// Router backward through the combine weights: weight i is
 	// probs[token, expert] for each retained entry; softmax backward
 	// turns per-probability grads into logit grads.
-	dProbs := tensor.New(s, m.Cfg.NumExperts)
+	m.dProbs = ensureShape(m.dProbs, s, m.Cfg.NumExperts)
+	m.dProbs.Zero()
+	dProbs := m.dProbs
 	for i := range m.pft.TokenIDs {
 		dProbs.Set(m.pft.TokenIDs[i], m.pft.ExpertIDs[i],
 			dProbs.At(m.pft.TokenIDs[i], m.pft.ExpertIDs[i])+dWeights[i])
 	}
-	dLogits := tensor.New(s, m.Cfg.NumExperts)
+	m.dLogits = ensureShape(m.dLogits, s, m.Cfg.NumExperts)
+	dLogits := m.dLogits
 	for t := 0; t < s; t++ {
 		p := m.probs.Row(t)
 		dp := dProbs.Row(t)
@@ -292,6 +366,11 @@ func (m *MoEFFN) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	dx.Add(m.Router.Backward(dLogits))
+
+	// The forward caches are consumed; return them to the arena so the
+	// next Forward reuses the buffers.
+	m.pool.PutAll(m.probs, m.dispIn, m.hidPre, m.hidAct, m.expertOut)
+	m.probs, m.dispIn, m.hidPre, m.hidAct, m.expertOut = nil, nil, nil, nil, nil
 	return dx
 }
 
