@@ -2,13 +2,14 @@
 #
 #   make ci      - what a CI job runs: vet, build, race-enabled tests, quick bench
 #   make test    - full test suite (includes the slow sweep tests)
-#   make race    - race-detector pass over the concurrency-heavy packages
+#   make race    - full race-detector pass (go test -race ./...)
+#   make race-fast - race pass over just the concurrency-heavy packages
 #   make bench   - package microbenchmarks with allocation counts
 #   make bench-figs - paper-figure benchmarks (slow)
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-figs bench-json ci
+.PHONY: all build vet test race race-fast race-full bench bench-figs bench-json ci
 
 all: build
 
@@ -21,17 +22,24 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrency-critical packages: worker pool + tensor arenas (tensor),
-# rank goroutines and rendezvous collectives (simrt), pooled pipelines
-# (moe, rbd, kernels).
+# Everything under the race detector — the verify gate for the async
+# collective handles and chunked overlap pipelines. The bench sweeps run
+# ~10x slower with -race, so the default 10m per-package timeout is not
+# enough.
 race:
-	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/moe \
-		./internal/kernels ./internal/rbd ./internal/collective
-
-# Everything under the race detector. The bench sweeps run ~10x slower
-# with -race, so the default 10m per-package timeout is not enough.
-race-full:
 	$(GO) test -race -timeout 60m ./...
+
+# The concurrency-critical packages only: worker pool + tensor arenas
+# (tensor), rank goroutines, rendezvous collectives and async handles
+# (simrt), cost memoization (netsim), overlapped-span recording (trace),
+# pooled + chunked pipelines (moe, rbd, kernels).
+race-fast:
+	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/netsim \
+		./internal/trace ./internal/moe ./internal/kernels ./internal/rbd \
+		./internal/collective
+
+# Kept as an alias for the historical target name.
+race-full: race
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor \
@@ -45,7 +53,7 @@ bench-json:
 
 # Quick CI: vet + build + race tests on the fast packages + unit tests of
 # the remaining packages + a quick microbenchmark smoke run.
-ci: vet build race
+ci: vet build race-fast
 	$(GO) test ./internal/... .
 	$(GO) test -run=NONE -bench='BenchmarkPFTLayerForwardBackward|BenchmarkMoEFFNForwardBackward' \
 		-benchmem -benchtime=10x ./internal/moe ./internal/train

@@ -49,13 +49,14 @@ var experiments = map[string]func(w io.Writer, opts bench.Options){
 	"abl-pilot":    func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
 	"abl-capacity": func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
 	"abl-rbd-ep":   func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
+	"abl-overlap":  func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
 var order = []string{
 	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
-	"abl-pilot", "abl-capacity", "abl-rbd-ep",
+	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap",
 }
 
 // jsonRecord is one experiment's machine-readable result.

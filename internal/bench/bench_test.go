@@ -276,6 +276,33 @@ func TestAblationCapacityFactor(t *testing.T) {
 	}
 }
 
+// TestAblationOverlapChunkedStrictlyFaster is the acceptance gate of the
+// overlap subsystem: on the Fig. 11 configuration, every chunked variant
+// (C >= 2) must be strictly faster than the blocking pipeline (C=1) for
+// all three transports.
+func TestAblationOverlapChunkedStrictlyFaster(t *testing.T) {
+	results := AblationOverlap(io.Discard, quickOpts())
+	if len(results) == 0 {
+		t.Fatal("no overlap ablation points")
+	}
+	for _, res := range results {
+		for i, chunks := range res.Chunks {
+			if chunks == 1 {
+				continue
+			}
+			for _, series := range []struct {
+				name string
+				ms   []float64
+			}{{"pft", res.PFTMs}, {"padded", res.PaddedMs}, {"rbd", res.RBDMs}} {
+				if series.ms[i] >= series.ms[0] {
+					t.Errorf("%s %s C=%d: %.3fms not strictly faster than blocking %.3fms",
+						res.Model, series.name, chunks, series.ms[i], series.ms[0])
+				}
+			}
+		}
+	}
+}
+
 func TestAblationRBDByEPSavingShrinks(t *testing.T) {
 	res := AblationRBDByEPSize(io.Discard, quickOpts())
 	if len(res.Saving) < 2 {

@@ -58,6 +58,17 @@ type PipelineOpts struct {
 	// PFTBackward (implies Numeric and RetainActivations semantics for
 	// the captured tensors).
 	SaveForBackward bool
+	// OverlapChunks selects the chunked comm/compute-overlap execution of
+	// the dispatch -> experts -> combine middle section: the routed
+	// tokens are split into OverlapChunks per-expert chunks, chunk i+1's
+	// dispatch all-to-all overlaps chunk i's expert GEMMs on the
+	// communication stream, and chunk i's combine all-to-all overlaps
+	// chunk i+1's GEMMs (FastMoE smart scheduling / Megatron Core MoE
+	// overlap). Values <= 1 select the blocking pipeline. Numeric output
+	// is bit-identical to the blocking pipeline for any chunk count (the
+	// expert FFN is row-independent and chunking never reorders the
+	// per-row arithmetic). Not supported together with SaveForBackward.
+	OverlapChunks int
 }
 
 func (o PipelineOpts) combineBytes(cfg Config) int {
@@ -65,6 +76,14 @@ func (o PipelineOpts) combineBytes(cfg Config) int {
 		return o.CombineBytes
 	}
 	return cfg.BytesPerElem
+}
+
+// chunks returns the effective chunk count (1 = blocking).
+func (o PipelineOpts) chunks() int {
+	if o.OverlapChunks > 1 {
+		return o.OverlapChunks
+	}
+	return 1
 }
 
 // ExpertParams holds the weights of this rank's local experts: W1[e] is
@@ -162,6 +181,14 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 		dispIn = kernels.Gather(x, pft.TokenIDs)
 	}
 	mem.Alloc("dispatch_in", int64(b)*int64(h)*elem)
+
+	// Chunked comm/compute-overlap execution of the middle section.
+	if opts.chunks() > 1 {
+		if opts.SaveForBackward {
+			panic("moe: OverlapChunks does not support SaveForBackward")
+		}
+		return pftForwardOverlap(r, g, cfg, s, pft, dispIn, params, opts)
+	}
 
 	// --- Uneven all-to-all (dispatch) ------------------------------------
 	// Exchange per-destination token counts, then the token payload.
@@ -410,6 +437,14 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 		dispBuf = kernels.PaddedDispatch(x, pa.SlotToken, capTokens)
 	}
 	mem.Alloc("disp_buffer", bufBytes)
+
+	// Chunked comm/compute-overlap execution of the middle section.
+	if opts.chunks() > 1 {
+		if opts.SaveForBackward {
+			panic("moe: OverlapChunks does not support SaveForBackward")
+		}
+		return paddedForwardOverlap(r, g, cfg, s, pa, dispBuf, params, opts, kernelClass, maskBytes, intermBytes)
+	}
 
 	// --- Even all-to-all (dispatch) ---------------------------------------
 	// Every pair exchanges the full padded slice for the destination's

@@ -1,0 +1,435 @@
+package moe
+
+// Chunked comm/compute-overlap execution of the MoE middle section
+// (dispatch all-to-all -> expert GEMMs -> combine all-to-all), the
+// optimisation FastMoE's smart scheduling and Megatron Core's MoE overlap
+// apply to hide the paper's dominant all-to-all cost (Fig. 11) behind the
+// expert computation:
+//
+//   - The routed tokens are split into C chunks along each (destination
+//     rank, local expert) segment, using the same ChunkRange split on both
+//     ends so no extra metadata crosses the wire (full per-expert counts
+//     ride with chunk 0 only, exactly the blocking pipeline's volume).
+//   - All C dispatch all-to-alls are issued non-blocking up front; they
+//     serialise on the rank's communication stream, so chunk i+1's
+//     transfer flies while chunk i's expert GEMMs run on the device.
+//   - Each chunk's combine all-to-all is issued non-blocking right after
+//     its GEMMs, overlapping the remaining chunks' compute; the waits at
+//     the end charge only the uncovered tail.
+//
+// Numeric output is bit-identical to the blocking pipeline: the expert
+// FFN is row-independent, chunking only re-times row groups without
+// reordering any per-row arithmetic, and every returned row is written to
+// the exact position the blocking pipeline would use.
+
+import (
+	"xmoe/internal/kernels"
+	"xmoe/internal/perfmodel"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// pftForwardOverlap continues PFTForward after gating, PFT construction
+// and the dispatch gather, executing the exchange and expert stages in
+// opts.chunks() overlapped chunks.
+func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PFT,
+	dispIn *tensor.Tensor, params *ExpertParams, opts PipelineOpts) LayerResult {
+
+	chunks := opts.chunks()
+	p := g.Size()
+	epr := cfg.NumExperts / p
+	h, f := cfg.HModel, cfg.HFFN
+	elem := int64(cfg.BytesPerElem)
+	combElem := int64(opts.combineBytes(cfg))
+	mem := &r.Dev().Mem
+	comp := r.C.Comp
+	pool := r.Pool()
+	b := pft.B()
+	segStart := pft.ExpertSegments()
+
+	// --- Issue every dispatch chunk non-blocking -------------------------
+	// Chunk c of global expert e covers rows ChunkRange(cnt_e, chunks, c)
+	// of e's contiguous PFT segment; a chunk part concatenates the
+	// destination rank's experts' chunk rows in expert order. The full
+	// per-expert counts ride with chunk 0 (blocking wire volume), later
+	// chunks are derived by both ends from the same split.
+	countsFlat := make([]int, p*epr)
+	copy(countsFlat, pft.TokensPerExpert)
+	dispatchH := make([]*simrt.CommHandle, chunks)
+	for c := 0; c < chunks; c++ {
+		send := make([]simrt.Part, p)
+		chunkRows := 0
+		for dst := 0; dst < p; dst++ {
+			rows := 0
+			for le := 0; le < epr; le++ {
+				lo, hi := simrt.ChunkRange(pft.TokensPerExpert[dst*epr+le], chunks, c)
+				rows += hi - lo
+			}
+			chunkRows += rows
+			part := simrt.Part{Bytes: int64(rows) * int64(h) * elem}
+			if c == 0 {
+				part.Meta = countsFlat[dst*epr : (dst+1)*epr]
+				part.Bytes += int64(epr) * 8
+			}
+			if opts.Numeric && rows > 0 {
+				// Staged allocate-fresh: the buffer crosses a collective.
+				buf := make([]float32, rows*h)
+				pos := 0
+				for le := 0; le < epr; le++ {
+					e := dst*epr + le
+					lo, hi := simrt.ChunkRange(pft.TokensPerExpert[e], chunks, c)
+					if hi > lo {
+						copy(buf[pos*h:(pos+hi-lo)*h],
+							dispIn.Data[(segStart[e]+lo)*h:(segStart[e]+hi)*h])
+						pos += hi - lo
+					}
+				}
+				part.Data = buf
+			}
+			send[dst] = part
+		}
+		// The chunked path packs strided per-expert chunk rows into send
+		// buffers — a real memory-bound pass the blocking pipeline avoids
+		// by sending contiguous views — so it is charged, keeping the
+		// overlap-vs-blocking comparison honest.
+		r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(chunkRows)*int64(h)*elem))
+		dispatchH[c] = r.AlltoAllVAsync(g, StageDispatchA2A, send)
+	}
+
+	// --- Per-chunk expert stage, combine issued as soon as a chunk ends --
+	var recvCounts [][]int // [src][localExpert] full totals, from chunk 0
+	bExp := 0
+	combineH := make([]*simrt.CommHandle, chunks)
+	rowsPerLE := make([]int, epr)
+	// Per-chunk geometry scratch, reused across chunks: chunkLen[src*epr+le]
+	// is the (src, le) sub-block's row count, partPos[src*epr+le] its
+	// offset within src's part (send and receive sides share the layout:
+	// local experts ascending), blockOff[le*p+src] its offset within the
+	// chunk's expert-major buffer. Precomputed prefix sums keep packing
+	// O(p*epr) per chunk, as the blocking path's blockOff table does.
+	chunkLen := make([]int, p*epr)
+	partPos := make([]int, p*epr)
+	blockOff := make([]int, epr*p)
+	for c := 0; c < chunks; c++ {
+		recv := dispatchH[c].Wait()
+		if c == 0 {
+			recvCounts = make([][]int, p)
+			for src, part := range recv {
+				recvCounts[src] = part.Meta.([]int)
+				for _, n := range recvCounts[src] {
+					bExp += n
+				}
+			}
+			mem.Alloc("A_dispatch", int64(bExp)*int64(h)*elem)
+			mem.Alloc("A0_interm", int64(bExp)*int64(f)*elem)
+			mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
+		}
+
+		// Chunk geometry: sub-block lengths, then prefix offsets.
+		bc := 0
+		for le := 0; le < epr; le++ {
+			rowsPerLE[le] = 0
+			for src := 0; src < p; src++ {
+				lo, hi := simrt.ChunkRange(recvCounts[src][le], chunks, c)
+				chunkLen[src*epr+le] = hi - lo
+				rowsPerLE[le] += hi - lo
+			}
+			bc += rowsPerLE[le]
+		}
+		{
+			off := 0
+			for le := 0; le < epr; le++ {
+				for src := 0; src < p; src++ {
+					blockOff[le*p+src] = off
+					off += chunkLen[src*epr+le]
+				}
+			}
+			for src := 0; src < p; src++ {
+				pos := 0
+				for le := 0; le < epr; le++ {
+					partPos[src*epr+le] = pos
+					pos += chunkLen[src*epr+le]
+				}
+			}
+		}
+
+		// Expert-major reorder of this chunk (paper §5.4.1 overhead,
+		// charged proportionally to the chunk's rows).
+		r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(bc)*int64(h)*elem))
+		var chunkIn *tensor.Tensor
+		if opts.Numeric {
+			chunkIn = pool.Get(bc, h)
+			for le := 0; le < epr; le++ {
+				for src := 0; src < p; src++ {
+					n := chunkLen[src*epr+le]
+					if n == 0 {
+						continue
+					}
+					off, pos := blockOff[le*p+src], partPos[src*epr+le]
+					copy(chunkIn.Data[off*h:(off+n)*h],
+						recv[src].Data[pos*h:(pos+n)*h])
+				}
+			}
+		}
+
+		// Sequential GEMM experts over the chunk's uneven segments.
+		expertTime := comp.SequentialGEMM(rowsPerLE, h, f) +
+			comp.SequentialGEMM(rowsPerLE, f, h) +
+			comp.MemBound(perfmodel.ClassTriton, 2*int64(bc)*int64(f)*elem)
+		r.Compute(StageExperts, expertTime)
+		var chunkOut *tensor.Tensor
+		if opts.Numeric {
+			interm := pool.Get(bc, f)
+			kernels.SequentialGEMMInto(interm, chunkIn, rowsPerLE, params.W1)
+			tensor.GeLU(interm)
+			chunkOut = pool.Get(bc, h)
+			kernels.SequentialGEMMInto(chunkOut, interm, rowsPerLE, params.W2)
+			pool.PutAll(chunkIn, interm)
+		}
+
+		// Reverse reorder to src-major and issue this chunk's combine.
+		r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(bc)*int64(h)*elem))
+		sendBack := make([]simrt.Part, p)
+		for src := 0; src < p; src++ {
+			rows := 0
+			for le := 0; le < epr; le++ {
+				rows += chunkLen[src*epr+le]
+			}
+			part := simrt.Part{Bytes: int64(rows) * int64(h) * combElem}
+			if opts.Numeric && rows > 0 {
+				buf := make([]float32, rows*h)
+				for le := 0; le < epr; le++ {
+					n := chunkLen[src*epr+le]
+					if n == 0 {
+						continue
+					}
+					off, pos := blockOff[le*p+src], partPos[src*epr+le]
+					copy(buf[pos*h:(pos+n)*h], chunkOut.Data[off*h:(off+n)*h])
+				}
+				part.Data = buf
+			}
+			sendBack[src] = part
+		}
+		combineH[c] = r.AlltoAllVAsync(g, StageCombineA2A, sendBack)
+		if opts.Numeric {
+			pool.Put(chunkOut) // fully staged into the send-back buffers
+		}
+	}
+
+	// --- Drain combine chunks into the PFT-ordered combine buffer --------
+	mem.Alloc("A_combine", int64(b)*int64(h)*combElem)
+	var combineIn *tensor.Tensor
+	if opts.Numeric {
+		combineIn = pool.Get(b, h)
+	}
+	for c := 0; c < chunks; c++ {
+		back := combineH[c].Wait()
+		if !opts.Numeric {
+			continue
+		}
+		for dst := 0; dst < p; dst++ {
+			data := back[dst].Data
+			pos := 0
+			for le := 0; le < epr; le++ {
+				e := dst*epr + le
+				lo, hi := simrt.ChunkRange(pft.TokensPerExpert[e], chunks, c)
+				if hi > lo {
+					copy(combineIn.Data[(segStart[e]+lo)*h:(segStart[e]+hi)*h],
+						data[pos*h:(pos+hi-lo)*h])
+					pos += hi - lo
+				}
+			}
+		}
+	}
+
+	// --- Scatter combine (identical to the blocking pipeline) ------------
+	r.Compute(StageCombine, comp.MemBound(perfmodel.ClassTriton, 2*int64(b)*int64(h)*combElem))
+	var out *tensor.Tensor
+	if opts.Numeric {
+		out = kernels.ScatterCombine(combineIn, pft.TokenIDs, pft.CombineWeights, s)
+		pool.Put(combineIn)
+	}
+	mem.Alloc("output", int64(s)*int64(h)*elem)
+
+	if !opts.RetainActivations {
+		mem.Free("dispatch_in", int64(b)*int64(h)*elem)
+		mem.Free("A_dispatch", int64(bExp)*int64(h)*elem)
+		mem.Free("A0_interm", int64(bExp)*int64(f)*elem)
+		mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
+		mem.Free("A_combine", int64(b)*int64(h)*combElem)
+		mem.Free("eri", pft.ERIBytes())
+	}
+
+	return LayerResult{
+		Output:       out,
+		PFT:          pft,
+		RoutedTokens: b,
+		RecvTokens:   bExp,
+		Dropped:      pft.Dropped,
+	}
+}
+
+// paddedForwardOverlap continues PaddedForward after gating, plan
+// construction and the padded dispatch, executing the even exchanges and
+// the batched expert GEMMs in opts.chunks() overlapped chunks of capacity
+// slots.
+func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
+	pa *PaddedAssignment, dispBuf *tensor.Tensor, params *ExpertParams,
+	opts PipelineOpts, kernelClass perfmodel.KernelClass, maskBytes, intermBytes int64) LayerResult {
+
+	chunks := opts.chunks()
+	p := g.Size()
+	e := cfg.NumExperts
+	epr := e / p
+	h, f := cfg.HModel, cfg.HFFN
+	capTokens := cfg.Capacity(s)
+	elem := int64(cfg.BytesPerElem)
+	combElem := int64(opts.combineBytes(cfg))
+	vendor := kernelClass == perfmodel.ClassVendor
+	mem := &r.Dev().Mem
+	comp := r.C.Comp
+	pool := r.Pool()
+	pairBytes := int64(epr) * int64(capTokens) * int64(h) * elem
+
+	// --- Issue every dispatch chunk non-blocking -------------------------
+	// Chunk c covers capacity slots ChunkRange(capTokens, chunks, c) of
+	// every expert buffer; both ends derive the same slot split, so the
+	// even exchange needs no metadata at all.
+	dispatchH := make([]*simrt.CommHandle, chunks)
+	for c := 0; c < chunks; c++ {
+		slo, shi := simrt.ChunkRange(capTokens, chunks, c)
+		cl := shi - slo
+		send := make([]simrt.Part, p)
+		for dst := 0; dst < p; dst++ {
+			part := simrt.Part{Bytes: int64(epr) * int64(cl) * int64(h) * elem}
+			if opts.Numeric && cl > 0 {
+				buf := make([]float32, epr*cl*h)
+				for le := 0; le < epr; le++ {
+					base := ((dst*epr+le)*capTokens + slo) * h
+					copy(buf[le*cl*h:(le+1)*cl*h], dispBuf.Data[base:base+cl*h])
+				}
+				part.Data = buf
+			}
+			send[dst] = part
+		}
+		// Charge the strided slot-chunk pack the blocking pipeline's
+		// contiguous zero-copy send avoids.
+		r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p*epr*cl)*int64(h)*elem))
+		dispatchH[c] = r.AlltoAllVAsync(g, StageDispatchA2A, send)
+	}
+	mem.Alloc("A_dispatch", int64(p)*pairBytes)
+	rowsPerExpert := p * capTokens
+	mem.Alloc("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+	mem.Alloc("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+
+	// --- Per-chunk padded expert stage ------------------------------------
+	combineH := make([]*simrt.CommHandle, chunks)
+	rows := make([]int, epr)
+	for c := 0; c < chunks; c++ {
+		recv := dispatchH[c].Wait()
+		slo, shi := simrt.ChunkRange(capTokens, chunks, c)
+		cl := shi - slo
+		chunkRows := p * cl
+
+		// Reshape [P, EPR, cl, H] -> [EPR, P*cl, H].
+		r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p*epr*cl)*int64(h)*elem))
+		var chunkOut *tensor.Tensor
+		if opts.Numeric {
+			chunkIn := pool.Get(epr*chunkRows, h)
+			for src := 0; src < p; src++ {
+				data := recv[src].Data
+				for le := 0; le < epr; le++ {
+					srcBlock := data[le*cl*h : (le+1)*cl*h]
+					dstOff := (le*p + src) * cl * h
+					copy(chunkIn.Data[dstOff:dstOff+cl*h], srcBlock)
+				}
+			}
+			for i := range rows {
+				rows[i] = chunkRows
+			}
+			interm := pool.Get(epr*chunkRows, f)
+			kernels.SequentialGEMMInto(interm, chunkIn, rows, params.W1)
+			tensor.GeLU(interm)
+			chunkOut = pool.Get(epr*chunkRows, h)
+			kernels.SequentialGEMMInto(chunkOut, interm, rows, params.W2)
+			pool.PutAll(chunkIn, interm)
+		}
+		expertTime := comp.BatchedPaddedGEMM(epr, chunkRows, h, f) +
+			comp.BatchedPaddedGEMM(epr, chunkRows, f, h) +
+			comp.MemBound(perfmodel.ClassVendor, 2*int64(epr*chunkRows)*int64(f)*elem)
+		r.Compute(StageExperts, expertTime)
+
+		// Reverse reshape and issue this chunk's combine.
+		r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p*epr*cl)*int64(h)*elem))
+		sendBack := make([]simrt.Part, p)
+		for dst := 0; dst < p; dst++ {
+			part := simrt.Part{Bytes: int64(epr) * int64(cl) * int64(h) * elem}
+			if opts.Numeric && cl > 0 {
+				buf := make([]float32, epr*cl*h)
+				for le := 0; le < epr; le++ {
+					srcOff := (le*p + dst) * cl * h
+					copy(buf[le*cl*h:(le+1)*cl*h], chunkOut.Data[srcOff:srcOff+cl*h])
+				}
+				part.Data = buf
+			}
+			sendBack[dst] = part
+		}
+		combineH[c] = r.AlltoAllVAsync(g, StageCombineA2A, sendBack)
+		if opts.Numeric {
+			pool.Put(chunkOut) // fully staged into the send-back buffers
+		}
+	}
+
+	// --- Drain combine chunks into the padded combine buffer -------------
+	mem.Alloc("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
+	var full *tensor.Tensor
+	if opts.Numeric {
+		full = pool.Get(e*capTokens, h)
+	}
+	for c := 0; c < chunks; c++ {
+		back := combineH[c].Wait()
+		if !opts.Numeric {
+			continue
+		}
+		slo, shi := simrt.ChunkRange(capTokens, chunks, c)
+		cl := shi - slo
+		for dst := 0; dst < p; dst++ {
+			data := back[dst].Data
+			for le := 0; le < epr; le++ {
+				base := ((dst*epr+le)*capTokens + slo) * h
+				copy(full.Data[base:base+cl*h], data[le*cl*h:(le+1)*cl*h])
+			}
+		}
+	}
+
+	// --- Buffer combine (identical to the blocking pipeline) -------------
+	if vendor {
+		r.Compute(StageCombine, comp.MemBound(perfmodel.ClassVendor,
+			2*int64(e)*int64(capTokens)*int64(h)*combElem))
+	} else {
+		r.Compute(StageCombine, comp.MaskEinsum(s, e, capTokens, h))
+	}
+	var out *tensor.Tensor
+	if opts.Numeric {
+		out = kernels.PaddedCombine(full.Reshape(e, capTokens, h), pa.SlotToken, pa.SlotWeight, capTokens, s)
+		pool.Put(full)
+	}
+	mem.Alloc("output", int64(s)*int64(h)*elem)
+
+	if !opts.RetainActivations {
+		mem.Free("mask", maskBytes)
+		mem.Free("mask_interm", intermBytes)
+		mem.Free("disp_buffer", int64(e)*int64(capTokens)*int64(h)*elem)
+		mem.Free("A_dispatch", int64(p)*pairBytes)
+		mem.Free("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+		mem.Free("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
+		mem.Free("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
+	}
+
+	return LayerResult{
+		Output:       out,
+		RoutedTokens: pa.Occupied,
+		RecvTokens:   epr * rowsPerExpert,
+		Dropped:      pa.Dropped,
+	}
+}

@@ -1,0 +1,155 @@
+package moe
+
+import (
+	"testing"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+	"xmoe/internal/topology"
+)
+
+// TestChunkedPFTForwardBitIdenticalToBlocking is the overlap determinism
+// regression: the chunked pipeline re-times the dispatch/expert/combine
+// middle section but must never change a single bit of the numeric
+// output, for any chunk count (including counts that do not divide the
+// per-expert segments).
+func TestChunkedPFTForwardBitIdenticalToBlocking(t *testing.T) {
+	cfg := distConfig(8, 3)
+	const world, s = 4, 32
+	blocking := runPipeline(t, PFTForward, newMoECluster(t, world), cfg, s, PipelineOpts{
+		Numeric: true, DropPolicy: DropByCapacityWeight,
+	})
+	for _, chunks := range []int{2, 3, 4, 8, 64} {
+		chunked := runPipeline(t, PFTForward, newMoECluster(t, world), cfg, s, PipelineOpts{
+			Numeric: true, DropPolicy: DropByCapacityWeight, OverlapChunks: chunks,
+		})
+		for rank, bl := range blocking {
+			ch := chunked[rank]
+			if ch.RoutedTokens != bl.RoutedTokens || ch.RecvTokens != bl.RecvTokens {
+				t.Fatalf("C=%d rank %d routed/recv %d/%d, want %d/%d", chunks, rank,
+					ch.RoutedTokens, ch.RecvTokens, bl.RoutedTokens, bl.RecvTokens)
+			}
+			bitEqual(t, "chunked PFT output", bl.Output, ch.Output)
+		}
+	}
+}
+
+// TestChunkedPaddedForwardBitIdenticalToBlocking pins the padded
+// pipeline's chunked slot exchange against the blocking even all-to-all.
+func TestChunkedPaddedForwardBitIdenticalToBlocking(t *testing.T) {
+	cfg := distConfig(8, 3)
+	const world, s = 4, 32
+	blocking := runPipeline(t, PaddedForward, newMoECluster(t, world), cfg, s, PipelineOpts{
+		Numeric: true, DropPolicy: DropNegativeThenPosition,
+	})
+	for _, chunks := range []int{2, 3, 4, 16} {
+		chunked := runPipeline(t, PaddedForward, newMoECluster(t, world), cfg, s, PipelineOpts{
+			Numeric: true, DropPolicy: DropNegativeThenPosition, OverlapChunks: chunks,
+		})
+		for rank, bl := range blocking {
+			bitEqual(t, "chunked padded output", bl.Output, chunked[rank].Output)
+		}
+	}
+}
+
+// TestChunkedPooledBitIdenticalToFresh extends the pooled-vs-fresh
+// regression to the overlap path: the chunked pipeline draws chunk
+// buffers from the rank arenas, and steady-state reuse must stay
+// bit-identical to allocate-fresh execution.
+func TestChunkedPooledBitIdenticalToFresh(t *testing.T) {
+	cfg := distConfig(8, 3)
+	const world, s = 4, 32
+	run := func(disablePools bool, iters int) map[int]LayerResult {
+		c := newMoECluster(t, world)
+		c.DisablePools = disablePools
+		var last map[int]LayerResult
+		for it := 0; it < iters; it++ {
+			last = runPipeline(t, PFTForward, c, cfg, s, PipelineOpts{
+				Numeric: true, DropPolicy: DropByCapacityWeight, OverlapChunks: 4,
+			})
+		}
+		return last
+	}
+	fresh := run(true, 1)
+	pooled := run(false, 3)
+	for rank, f := range fresh {
+		bitEqual(t, "pooled chunked output", f.Output, pooled[rank].Output)
+	}
+}
+
+// overlapClock runs one symbolic layer on a communication-heavy
+// configuration and returns the simulated wall-clock.
+func overlapClock(t *testing.T, pipeline func(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult, chunks int) float64 {
+	t.Helper()
+	cfg := Config{
+		NumExperts: 64, TopK: 6, HModel: 4096, HFFN: 2048,
+		CapacityFactor: 1.25, BytesPerElem: 2,
+	}
+	const world, s = 16, 1024
+	c := simrt.NewCluster(topology.Frontier(), world, 7)
+	c.Net.DisableCongestion = true
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(uint64(900 + r.ID))
+		routing := SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.3)
+		pipeline(r, g, cfg, s, nil, routing, nil, PipelineOpts{
+			DropPolicy: DropByCapacityWeight, OverlapChunks: chunks,
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simrt.MaxClock(ranks)
+}
+
+// TestChunkedOverlapStrictlyFaster asserts the point of the subsystem: on
+// a configuration where the all-to-alls are a significant share of layer
+// time (the Fig. 11 regime), chunked overlapped execution must beat the
+// blocking pipeline for every C >= 2, in both pipelines.
+func TestChunkedOverlapStrictlyFaster(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		pipe func(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult
+	}{
+		{"pft", PFTForward},
+		{"padded", PaddedForward},
+	} {
+		blocking := overlapClock(t, tc.pipe, 1)
+		for _, chunks := range []int{2, 4, 8} {
+			overlapped := overlapClock(t, tc.pipe, chunks)
+			if overlapped >= blocking {
+				t.Errorf("%s C=%d: overlapped %.6fs not faster than blocking %.6fs",
+					tc.name, chunks, overlapped, blocking)
+			}
+		}
+	}
+}
+
+// TestOverlapRejectsSaveForBackward documents the unsupported
+// combination explicitly instead of silently corrupting backward state.
+func TestOverlapRejectsSaveForBackward(t *testing.T) {
+	cfg := distConfig(8, 3)
+	c := newMoECluster(t, 4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *simrt.Rank) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("OverlapChunks with SaveForBackward must panic")
+			}
+			// Leave peers unblocked: the panic fires before any
+			// collective, so no rendezvous is pending.
+		}()
+		rng := tensor.NewRNG(uint64(500 + r.ID))
+		x := tensor.Randn(rng, 1, 16, cfg.HModel)
+		routing := SyntheticRouting(rng, 16, cfg.NumExperts, cfg.TopK, 0.5)
+		params := localParams(g.IndexOf(r.ID), 2, cfg.HModel, cfg.HFFN)
+		PFTForward(r, g, cfg, 16, x, routing, params, PipelineOpts{
+			Numeric: true, SaveForBackward: true, OverlapChunks: 2,
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

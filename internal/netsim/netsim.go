@@ -23,7 +23,19 @@ import (
 type Cost struct {
 	// Seconds is the modeled wall-clock duration of the collective.
 	Seconds float64
-	// BytesByClass is the total traffic crossing each link class.
+	// BytesByClass is the aggregate traffic per link class: the bytes
+	// moved over links of each class summed across every participant of
+	// the collective (not per-rank, not per-link). Under this convention
+	// a ring all-reduce of R bytes among p ranks accounts 2(p-1)R bytes
+	// in total, an all-gather of sum(perRankBytes)=T accounts (p-1)T, and
+	// an all-to-all accounts exactly the sum of its pairwise payloads.
+	// Every collective in this package follows the same convention, so
+	// byte totals are comparable across collectives. The hierarchical
+	// collectives (all-reduce, all-gather, reduce-scatter) aggregate with
+	// an even-layout model — the ring identities above are exact when
+	// every occupied node holds the same number of members, and integer
+	// division makes them approximate (never more than one member's
+	// volume off) for uneven layouts.
 	BytesByClass map[topology.LinkClass]int64
 	// CongestionDelay is the portion of Seconds attributable to sampled
 	// cross-rack congestion (zero when the group fits in one rack).
@@ -45,6 +57,37 @@ func (c Cost) TotalBytes() int64 {
 // cross-rack links) — the quantity RBD minimises.
 func (c Cost) InterNodeBytes() int64 {
 	return c.BytesByClass[topology.LinkInterNode] + c.BytesByClass[topology.LinkCrossRack]
+}
+
+// Serial composes collective costs executed back to back: durations and
+// congestion delays add, byte aggregates merge per link class. The chunked
+// (blocking) pipelines are Serial compositions of their chunk costs.
+func Serial(costs ...Cost) Cost {
+	out := Cost{BytesByClass: map[topology.LinkClass]int64{}}
+	for _, c := range costs {
+		out.Seconds += c.Seconds
+		out.CongestionDelay += c.CongestionDelay
+		for class, b := range c.BytesByClass {
+			out.BytesByClass[class] += b
+		}
+	}
+	return out
+}
+
+// Overlapped composes a communication cost with computeSeconds of
+// independent compute running concurrently (comm on the communication
+// stream, compute on the device): wall is the overlapped span's duration
+// max(comm, compute) and exposed is the uncovered communication remainder
+// max(0, comm-compute) — the only part a waiting rank is charged. This is
+// the composition rule the simrt async handles implement against the rank
+// clock; it is exported so analytic models can predict overlap headroom
+// without running the simulator.
+func Overlapped(comm Cost, computeSeconds float64) (wall, exposed float64) {
+	exposed = comm.Seconds - computeSeconds
+	if exposed < 0 {
+		exposed = 0
+	}
+	return computeSeconds + exposed, exposed
 }
 
 // CongestionModel parameterises the Dragonfly congestion behaviour
@@ -466,10 +509,14 @@ func (n *Network) allReduce(ranks []int, bytes int64) Cost {
 
 	g := l.membersPerNode
 	if g > 1 {
-		// Intra-node reduce-scatter + all-gather: 2 x (g-1)/g x bytes.
+		// Intra-node reduce-scatter + all-gather: 2 x (g-1)/g x bytes per
+		// member. Every rank of the group runs the intra phase, so the
+		// aggregate is the per-member volume times p (integer arithmetic,
+		// so the cross-collective ring identities hold exactly on even
+		// node layouts; see the Cost.BytesByClass convention note).
 		vol := 2 * float64(g-1) / float64(g) * float64(bytes)
 		t += vol/intra.Bandwidth + 2*float64(g-1)*intra.Latency
-		byClass[l.intraClass] += int64(vol) * int64(g)
+		byClass[l.intraClass] += 2 * int64(g-1) * bytes * int64(p) / int64(g)
 	}
 	if l.nodes > 1 {
 		// Inter-node ring all-reduce on bytes/g shards; the g flows per
@@ -484,7 +531,7 @@ func (n *Network) allReduce(ranks []int, bytes int64) Cost {
 		if l.racks > 1 {
 			class = topology.LinkCrossRack
 		}
-		byClass[class] += int64(vol) * int64(nodes)
+		byClass[class] += 2 * int64(nodes-1) * bytes
 	}
 	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
 	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}
@@ -518,9 +565,11 @@ func (n *Network) allGather(ranks []int, perRankBytes []int64) Cost {
 	g := l.membersPerNode
 	intra := n.M.Link(l.intraClass)
 	if g > 1 {
+		// Per-member intra volume, aggregated over all p participants
+		// (same integer-exact convention as allReduce).
 		vol := float64(g-1) / float64(g) * float64(total)
 		t += vol/intra.Bandwidth + float64(g-1)*intra.Latency
-		byClass[l.intraClass] += int64(vol)
+		byClass[l.intraClass] += int64(g-1) * total * int64(p) / int64(g)
 	}
 	if l.nodes > 1 {
 		nodes := l.nodes
@@ -532,22 +581,28 @@ func (n *Network) allGather(ranks []int, perRankBytes []int64) Cost {
 		if l.racks > 1 {
 			class = topology.LinkCrossRack
 		}
-		byClass[class] += int64(vol) * int64(nodes)
+		byClass[class] += int64(nodes-1) * total
 	}
 	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
 	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}
 }
 
 // ReduceScatter simulates a reduce-scatter of bytes per rank; with a ring
-// schedule its cost matches one all-gather pass over the same volume.
+// schedule its cost matches one all-gather pass over the same volume. The
+// remainder of a non-divisible size is spread over the first bytes%p
+// ranks so the per-rank shards always sum to exactly bytes.
 func (n *Network) ReduceScatter(ranks []int, bytes int64) Cost {
 	p := len(ranks)
 	if p <= 1 || bytes == 0 {
 		return Cost{BytesByClass: map[topology.LinkClass]int64{}}
 	}
 	per := make([]int64, p)
+	base, rem := bytes/int64(p), bytes%int64(p)
 	for i := range per {
-		per[i] = bytes / int64(p)
+		per[i] = base
+		if int64(i) < rem {
+			per[i]++
+		}
 	}
 	return n.AllGather(ranks, per)
 }

@@ -214,6 +214,118 @@ func TestAllReducePlacementSensitivity(t *testing.T) {
 	}
 }
 
+// totalBytes sums a cost's aggregate traffic over every link class,
+// including the intra-node classes (TotalBytes excludes only LinkLocal).
+func totalBytes(c Cost) int64 {
+	var t int64
+	for _, b := range c.BytesByClass {
+		t += b
+	}
+	return t
+}
+
+// TestCollectiveByteAccountingConvention pins the documented convention:
+// BytesByClass aggregates the bytes moved per link class across the whole
+// group, so the cross-collective ring identities hold exactly.
+func TestCollectiveByteAccountingConvention(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	const B = int64(96 << 20)
+
+	// Layouts: one full node (p=8, single intra tier) and an even
+	// multi-node span (p=32 over 4 nodes).
+	for _, tc := range []struct {
+		name  string
+		ranks []int
+	}{
+		{"single-node", ranksRange(8)},
+		{"multi-node", ranksRange(32)},
+	} {
+		p := int64(len(tc.ranks))
+
+		// All-reduce: ring identity 2(p-1)/p x B x p = 2(p-1)B, and the
+		// hierarchical intra+inter split must telescope to the same total.
+		ar := n.AllReduce(tc.ranks, B)
+		if got, want := totalBytes(ar), 2*(p-1)*B; got != want {
+			t.Errorf("%s allreduce aggregate = %d, want 2(p-1)B = %d", tc.name, got, want)
+		}
+
+		// All-gather: (p-1)/p x sum(perRankBytes) x p = (p-1) x total.
+		per := make([]int64, p)
+		var sum int64
+		for i := range per {
+			per[i] = B / int64(p)
+			sum += per[i]
+		}
+		ag := n.AllGather(tc.ranks, per)
+		if got, want := totalBytes(ag), (p-1)*sum; got != want {
+			t.Errorf("%s allgather aggregate = %d, want (p-1)Σper = %d", tc.name, got, want)
+		}
+
+		// Reduce-scatter: one all-gather pass over the same volume, so the
+		// same identity holds with Σper == B (remainder included).
+		odd := B + 13 // not divisible by p
+		rs := n.ReduceScatter(tc.ranks, odd)
+		if got, want := totalBytes(rs), (p-1)*odd; got != want {
+			t.Errorf("%s reduce-scatter aggregate = %d, want (p-1)B = %d", tc.name, got, want)
+		}
+
+		// Even all-to-all: exactly the sum of pairwise payloads.
+		const pair = int64(1 << 20)
+		aa := n.AlltoAll(tc.ranks, pair)
+		if got, want := totalBytes(aa), p*(p-1)*pair; got != want {
+			t.Errorf("%s alltoall aggregate = %d, want p(p-1)pair = %d", tc.name, got, want)
+		}
+
+		// Broadcast: every non-root member receives the payload once.
+		bc := n.Broadcast(tc.ranks, B)
+		if got, want := totalBytes(bc), (p-1)*B; got != want {
+			t.Errorf("%s broadcast aggregate = %d, want (p-1)B = %d", tc.name, got, want)
+		}
+	}
+}
+
+// TestReduceScatterRemainder regresses the integer-division remainder
+// drop: the per-rank shards must sum to exactly the input size, so the
+// cost of a non-divisible reduce-scatter dominates the truncated one.
+func TestReduceScatterRemainder(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	ranks := ranksRange(24) // 24 ranks, 3 nodes
+	const B = int64(1<<24) + 17
+	rs := n.ReduceScatter(ranks, B)
+	if got, want := totalBytes(rs), int64(23)*B; got != want {
+		t.Fatalf("aggregate bytes %d, want (p-1)B=%d: remainder dropped", got, want)
+	}
+	trunc := n.ReduceScatter(ranks, B-17) // divisible by 24
+	if rs.Seconds < trunc.Seconds {
+		t.Fatalf("non-divisible reduce-scatter (%.9fs) cheaper than truncated (%.9fs)",
+			rs.Seconds, trunc.Seconds)
+	}
+}
+
+// TestSerialAndOverlappedComposition covers the overlap-aware cost
+// composition used by the chunked pipelines.
+func TestSerialAndOverlappedComposition(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	a := n.AlltoAll(ranksRange(16), 1<<20)
+	b := n.AllReduce(ranksRange(16), 1<<20)
+	s := Serial(a, b)
+	if s.Seconds != a.Seconds+b.Seconds {
+		t.Fatalf("serial seconds %.9f != %.9f", s.Seconds, a.Seconds+b.Seconds)
+	}
+	if got, want := totalBytes(s), totalBytes(a)+totalBytes(b); got != want {
+		t.Fatalf("serial bytes %d != %d", got, want)
+	}
+
+	wall, exposed := Overlapped(a, a.Seconds/2)
+	if wall != a.Seconds || exposed != a.Seconds-a.Seconds/2 {
+		t.Fatalf("half-covered comm: wall %.9f exposed %.9f", wall, exposed)
+	}
+	wall, exposed = Overlapped(a, 2*a.Seconds)
+	if wall != 2*a.Seconds || exposed != 0 {
+		t.Fatalf("fully covered comm must expose nothing: wall %.9f exposed %.9f", wall, exposed)
+	}
+}
+
 func TestQuickAlltoAllVMonotoneInVolume(t *testing.T) {
 	n := newQuiet(topology.Frontier())
 	f := func(seed uint64) bool {

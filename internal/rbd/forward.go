@@ -37,8 +37,11 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 	}
 	mem.Alloc("dispatch_in", int64(b)*int64(h)*elem)
 
-	// RBD dispatch (stages 0-2 + expert input reconstruction).
-	st, expertIn := d.Dispatch(r, pft, dispIn, pilotRNG, Opts{Numeric: opts.Numeric})
+	// RBD dispatch (stages 0-2 + expert input reconstruction). The
+	// chunked overlap mode splits the inter-node pilot exchanges so they
+	// hide behind the adjacent instantiation/merge compute.
+	rbdOpts := Opts{Numeric: opts.Numeric, OverlapChunks: opts.OverlapChunks}
+	st, expertIn := d.Dispatch(r, pft, dispIn, pilotRNG, rbdOpts)
 
 	// Sequential GEMM experts over the reconstructed uneven segments.
 	bExp := 0
@@ -63,7 +66,7 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 	}
 
 	// RBD combine (replica gather, merge, pilot return, reconstruction).
-	out := d.Combine(r, st, expertOut, s, Opts{Numeric: opts.Numeric})
+	out := d.Combine(r, st, expertOut, s, rbdOpts)
 	r.Pool().Put(expertOut)
 
 	if !opts.RetainActivations {

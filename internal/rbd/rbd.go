@@ -54,6 +54,23 @@ type Opts struct {
 	Numeric bool
 	// Pilots selects the pilot-selection strategy (default PilotRandom).
 	Pilots PilotPolicy
+	// OverlapChunks selects chunked comm/compute overlap of the
+	// inter-node stages: the Stage-1 pilot exchange is split into
+	// OverlapChunks non-blocking chunks so chunk i+1's pilot-buffer
+	// instantiation hides behind chunk i's transfer, and symmetrically
+	// the combine-side pilot return overlaps the per-chunk weight-scaled
+	// merge. The intra-node Stage-2 exchanges stay blocking (they ride
+	// the fast links RBD already exploits). Values <= 1 select the
+	// blocking path; numeric output is bit-identical either way.
+	OverlapChunks int
+}
+
+// chunks returns the effective chunk count (1 = blocking).
+func (o Opts) chunks() int {
+	if o.OverlapChunks > 1 {
+		return o.OverlapChunks
+	}
+	return 1
 }
 
 // Dispatcher holds the topology-derived state shared by all ranks of an
@@ -329,49 +346,94 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 		})
 	}
 
-	// Pilot buffer instantiation (Triton gather over pilot rows).
-	r.Compute(StageS1Inst, comp.MemBound(perfmodel.ClassTriton, 2*int64(len(pilotEntry))*int64(h)*elem))
+	// --- Stage 1: pilot instantiation + inter-node exchange ----------------
+	// Blocking: one gather pass then one all-to-all. Chunked: each
+	// destination part is split into opts.chunks() row ranges; chunk c's
+	// pilot rows are instantiated (gather compute) and its all-to-all
+	// issued non-blocking, so chunk c+1's instantiation hides behind
+	// chunk c's transfer. The full s1Meta rides with chunk 0 only, so
+	// the wire volume matches the blocking exchange exactly; both ends
+	// derive later chunk boundaries from the same ChunkRange split.
+	chunks := opts.chunks()
 	var pilotBuf *tensor.Tensor
 	if opts.Numeric {
 		pilotBuf = tensor.New(len(pilotEntry), h)
-		for sp, ent := range pilotEntry {
-			copy(pilotBuf.Row(sp), dispIn.Row(ent))
-		}
 	}
 	mem.Alloc("rbd_pilot_send", int64(len(pilotEntry))*int64(h)*elem)
-
-	// --- Stage 1: inter-node exchange (pilots + metadata) ------------------
-	send := make([]simrt.Part, p)
-	for dst := 0; dst < p; dst++ {
-		lo, hi := partStart[dst], partStart[dst+1]
-		part := simrt.Part{Meta: metas[dst], Bytes: int64(hi-lo)*int64(h)*elem + metas[dst].bytes()}
-		if opts.Numeric && hi > lo {
-			part.Data = pilotBuf.Data[lo*h : hi*h]
+	s1H := make([]*simrt.CommHandle, 0, chunks)
+	var recvBlocking []simrt.Part
+	for c := 0; c < chunks; c++ {
+		send := make([]simrt.Part, p)
+		instRows := 0
+		for dst := 0; dst < p; dst++ {
+			lo, hi := partStart[dst], partStart[dst+1]
+			clo, chi := simrt.ChunkRange(hi-lo, chunks, c)
+			instRows += chi - clo
+			part := simrt.Part{Bytes: int64(chi-clo) * int64(h) * elem}
+			if c == 0 {
+				part.Meta = metas[dst]
+				part.Bytes += metas[dst].bytes()
+			}
+			if opts.Numeric && chi > clo {
+				for sp := lo + clo; sp < lo+chi; sp++ {
+					copy(pilotBuf.Row(sp), dispIn.Row(pilotEntry[sp]))
+				}
+				part.Data = pilotBuf.Data[(lo+clo)*h : (lo+chi)*h]
+			}
+			send[dst] = part
 		}
-		send[dst] = part
+		r.Compute(StageS1Inst, comp.MemBound(perfmodel.ClassTriton, 2*int64(instRows)*int64(h)*elem))
+		if chunks == 1 {
+			recvBlocking = r.AlltoAllV(d.EP, StageS1A2A, send)
+		} else {
+			s1H = append(s1H, r.AlltoAllVAsync(d.EP, StageS1A2A, send))
+		}
 	}
-	recv := r.AlltoAllV(d.EP, StageS1A2A, send)
 
 	st.recvPilotCounts = make([][]int, p)
 	st.recvPilotW = make([][]float32, p)
 	st.pilotPartOff = make([]int, p)
 	recvMetas := make([]s1Meta, p)
-	total := 0
-	for src, part := range recv {
-		m := part.Meta.(s1Meta)
-		recvMetas[src] = m
-		st.recvPilotCounts[src] = m.counts
-		st.recvPilotW[src] = m.weights
-		st.pilotPartOff[src] = total
-		total += len(m.weights)
-	}
-	st.pilotRowsTotal = total
-	mem.Alloc("rbd_pilot_recv", int64(total)*int64(h)*elem)
-	if opts.Numeric {
-		st.pilotRows = r.Pool().Get(total, h)
+	extractMetas := func(recv []simrt.Part) {
+		total := 0
 		for src, part := range recv {
-			if len(part.Data) > 0 {
-				copy(st.pilotRows.Data[st.pilotPartOff[src]*h:], part.Data)
+			m := part.Meta.(s1Meta)
+			recvMetas[src] = m
+			st.recvPilotCounts[src] = m.counts
+			st.recvPilotW[src] = m.weights
+			st.pilotPartOff[src] = total
+			total += len(m.weights)
+		}
+		st.pilotRowsTotal = total
+		mem.Alloc("rbd_pilot_recv", int64(total)*int64(h)*elem)
+		if opts.Numeric {
+			st.pilotRows = r.Pool().Get(total, h)
+		}
+	}
+	if chunks == 1 {
+		extractMetas(recvBlocking)
+		if opts.Numeric {
+			for src, part := range recvBlocking {
+				if len(part.Data) > 0 {
+					copy(st.pilotRows.Data[st.pilotPartOff[src]*h:], part.Data)
+				}
+			}
+		}
+	} else {
+		for c, hnd := range s1H {
+			recv := hnd.Wait()
+			if c == 0 {
+				extractMetas(recv)
+			}
+			if !opts.Numeric {
+				continue
+			}
+			for src, part := range recv {
+				if len(part.Data) == 0 {
+					continue
+				}
+				clo, _ := simrt.ChunkRange(len(st.recvPilotW[src]), chunks, c)
+				copy(st.pilotRows.Data[(st.pilotPartOff[src]+clo)*h:], part.Data)
 			}
 		}
 	}
@@ -388,7 +450,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	// Count per destination slot, then fill flat-backed views.
 	nReplicasIn := 0
 	stagedCount := make([]int, len(nodeMembers)+1)
-	for src := range recv {
+	for src := 0; src < p; src++ {
 		for _, rm := range recvMetas[src].replicas {
 			dm := d.memberOfExpert(rm.expert)
 			if d.nodeOfMember[dm] != myNode {
@@ -404,7 +466,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 		stagedCount[slot+1] += stagedCount[slot]
 		staged[slot] = stagedFlat[stagedCount[slot]:stagedCount[slot]]
 	}
-	for src := range recv {
+	for src := 0; src < p; src++ {
 		for _, rm := range recvMetas[src].replicas {
 			abs := st.pilotPartOff[src] + rm.pilotRel // re-encode to absolute
 			slot := d.slotOfMember[d.memberOfExpert(rm.expert)]
@@ -579,52 +641,157 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 	}
 	s2Back := r.AlltoAllV(nodeGroup, StageC2A2A, s2Send)
 
-	// --- Merge replicas into pilots (weight scaling happens here) ----------
+	// --- Merge replicas into pilots + inter-node pilot return --------------
+	// Blocking: one weight-scaled merge pass, then one all-to-all.
+	// Chunked: the received pilot rows are split into opts.chunks() row
+	// ranges per source part; chunk c's merge (pilot scaling plus the
+	// replica accumulations targeting its rows) runs on the device while
+	// chunk c-1's return transfer is in flight. Per-row arithmetic order
+	// is unchanged — a pilot row's scaling always precedes its replica
+	// accumulations, which keep their (slot, pos) order — so the output
+	// is bit-identical to the blocking path.
+	chunks := opts.chunks()
 	nMerge := 0
 	for _, sent := range st.s2SentByMember {
 		nMerge += len(sent)
 	}
-	r.Compute(StageCMerge, comp.MemBound(perfmodel.ClassTriton,
-		2*int64(nMerge+st.pilotRowsTotal)*int64(h)*elem))
 	var merged *tensor.Tensor
 	if opts.Numeric {
 		merged = tensor.New(st.pilotRowsTotal, h)
-		// Pilot rows scaled by their own combine weights.
-		for src := range st.recvPilotW {
-			for pos, w := range st.recvPilotW[src] {
-				abs := st.pilotPartOff[src] + pos
-				out := pilotOut.Row(abs)
-				dst := merged.Row(abs)
-				for j, v := range out {
-					dst[j] = w * v
-				}
-			}
-		}
-		for slot, sent := range st.s2SentByMember {
-			data := s2Back[slot].Data
-			for pos, sRec := range sent {
-				src := data[pos*h : (pos+1)*h]
-				dst := merged.Row(sRec.pilotAbs)
-				for j, v := range src {
-					dst[j] += sRec.weight * v
-				}
-			}
-		}
-		r.Pool().Put(pilotOut)
 	}
 	mem.Alloc("rbd_merged", int64(st.pilotRowsTotal)*int64(h)*elem)
 
-	// --- Combine stage 1 (inter-node): return merged pilot rows ------------
-	sendBack := make([]simrt.Part, p)
-	for src := 0; src < p; src++ {
-		n := len(st.recvPilotW[src])
-		part := simrt.Part{Bytes: int64(n) * int64(h) * elem}
-		if opts.Numeric && n > 0 {
-			part.Data = merged.Data[st.pilotPartOff[src]*h : (st.pilotPartOff[src]+n)*h]
+	// Replica-merge work lists per chunk, preserving (slot, pos) order
+	// inside each chunk.
+	type mergeRef struct{ slot, pos int }
+	var mergeByChunk [][]mergeRef
+	if chunks > 1 {
+		chunkOf := make([]int, st.pilotRowsTotal)
+		for src := 0; src < p; src++ {
+			n := len(st.recvPilotW[src])
+			for c := 0; c < chunks; c++ {
+				clo, chi := simrt.ChunkRange(n, chunks, c)
+				for pos := clo; pos < chi; pos++ {
+					chunkOf[st.pilotPartOff[src]+pos] = c
+				}
+			}
 		}
-		sendBack[src] = part
+		mergeByChunk = make([][]mergeRef, chunks)
+		for slot, sent := range st.s2SentByMember {
+			for pos, sRec := range sent {
+				c := chunkOf[sRec.pilotAbs]
+				mergeByChunk[c] = append(mergeByChunk[c], mergeRef{slot: slot, pos: pos})
+			}
+		}
 	}
-	back := r.AlltoAllV(d.EP, StageC1A2A, sendBack)
+
+	c1H := make([]*simrt.CommHandle, 0, chunks)
+	var backBlocking []simrt.Part
+	for c := 0; c < chunks; c++ {
+		// Merge this chunk's rows: scale pilots, then accumulate the
+		// replica outputs whose pilot lands in the chunk.
+		chunkRows, chunkMerges := 0, 0
+		for src := 0; src < p; src++ {
+			n := len(st.recvPilotW[src])
+			clo, chi := simrt.ChunkRange(n, chunks, c)
+			chunkRows += chi - clo
+			if opts.Numeric {
+				for pos := clo; pos < chi; pos++ {
+					abs := st.pilotPartOff[src] + pos
+					w := st.recvPilotW[src][pos]
+					out := pilotOut.Row(abs)
+					dst := merged.Row(abs)
+					for j, v := range out {
+						dst[j] = w * v
+					}
+				}
+			}
+		}
+		if chunks == 1 {
+			chunkMerges = nMerge
+			if opts.Numeric {
+				for slot, sent := range st.s2SentByMember {
+					data := s2Back[slot].Data
+					for pos, sRec := range sent {
+						src := data[pos*h : (pos+1)*h]
+						dst := merged.Row(sRec.pilotAbs)
+						for j, v := range src {
+							dst[j] += sRec.weight * v
+						}
+					}
+				}
+			}
+		} else {
+			chunkMerges = len(mergeByChunk[c])
+			if opts.Numeric {
+				for _, mr := range mergeByChunk[c] {
+					sRec := st.s2SentByMember[mr.slot][mr.pos]
+					src := s2Back[mr.slot].Data[mr.pos*h : (mr.pos+1)*h]
+					dst := merged.Row(sRec.pilotAbs)
+					for j, v := range src {
+						dst[j] += sRec.weight * v
+					}
+				}
+			}
+		}
+		r.Compute(StageCMerge, comp.MemBound(perfmodel.ClassTriton,
+			2*int64(chunkMerges+chunkRows)*int64(h)*elem))
+
+		// Return this chunk's merged pilot rows to their source ranks.
+		sendBack := make([]simrt.Part, p)
+		for src := 0; src < p; src++ {
+			n := len(st.recvPilotW[src])
+			clo, chi := simrt.ChunkRange(n, chunks, c)
+			part := simrt.Part{Bytes: int64(chi-clo) * int64(h) * elem}
+			if opts.Numeric && chi > clo {
+				lo := st.pilotPartOff[src] + clo
+				part.Data = merged.Data[lo*h : (lo+chi-clo)*h]
+			}
+			sendBack[src] = part
+		}
+		if chunks == 1 {
+			backBlocking = r.AlltoAllV(d.EP, StageC1A2A, sendBack)
+		} else {
+			c1H = append(c1H, r.AlltoAllVAsync(d.EP, StageC1A2A, sendBack))
+		}
+	}
+	if opts.Numeric {
+		r.Pool().Put(pilotOut)
+	}
+
+	// Reassemble the per-destination return buffers (chunk parts land at
+	// their deterministic ChunkRange offsets; blocking parts are already
+	// whole).
+	retData := make([][]float32, p)
+	if chunks == 1 {
+		for dst := 0; dst < p; dst++ {
+			retData[dst] = backBlocking[dst].Data
+		}
+	} else {
+		// sentTo[dst] is the number of pilot rows this rank sent to dst —
+		// the length of dst's return part, which dst chunked by the same
+		// ChunkRange split.
+		sentTo := make([]int, p)
+		for _, ent := range st.pilotEntry {
+			sentTo[d.memberOfExpert(st.pft.ExpertIDs[ent])]++
+		}
+		for c, hnd := range c1H {
+			back := hnd.Wait()
+			if !opts.Numeric {
+				continue
+			}
+			for dst := 0; dst < p; dst++ {
+				n := sentTo[dst]
+				if retData[dst] == nil && n > 0 {
+					retData[dst] = make([]float32, n*h)
+				}
+				clo, _ := simrt.ChunkRange(n, chunks, c)
+				if len(back[dst].Data) > 0 {
+					copy(retData[dst][clo*h:], back[dst].Data)
+				}
+			}
+		}
+	}
 
 	// --- Final reconstruction on the source rank ----------------------------
 	r.Compute(StageCScatter, comp.MemBound(perfmodel.ClassTriton,
@@ -638,7 +805,7 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 	pos := make([]int, p)
 	for _, ent := range st.pilotEntry {
 		dst := d.memberOfExpert(st.pft.ExpertIDs[ent])
-		data := back[dst].Data
+		data := retData[dst]
 		rowStart := pos[dst] * h
 		pos[dst]++
 		dstRow := out.Row(st.pft.TokenIDs[ent])

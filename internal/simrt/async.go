@@ -1,0 +1,144 @@
+package simrt
+
+import (
+	"fmt"
+
+	"xmoe/internal/netsim"
+)
+
+// Non-blocking collectives. The payload exchange still resolves at a
+// rendezvous (all members must deposit before anyone can receive), but the
+// modeled *time* is decoupled from the call: issuing a collective leaves
+// the rank's clock untouched, and CommHandle.Wait later charges only the
+// part of the collective's duration the rank did not cover with compute in
+// the meantime. This is the overlap model behind the chunked MoE pipelines
+// (FastMoE's smart scheduling, Megatron Core's MoE comm/compute overlap):
+//
+//	start = max over members of max(entry clock, comm-stream busy time)
+//	end   = start + netsim cost
+//	Wait: clock = max(clock, end)   — the uncovered remainder
+//
+// Collectives issued by one rank serialise on its comm stream (a later
+// async collective cannot start before an earlier one finishes), which
+// prevents chunked pipelines from overlapping their own chunks' transfers
+// with each other for free bandwidth.
+
+// a2avAsyncEntry is one rank's deposit for a non-blocking all-to-all-v:
+// the per-destination parts plus the rank's comm-stream horizon.
+type a2avAsyncEntry struct {
+	parts []Part
+	busy  float64
+}
+
+// a2avAsyncResult is the shared result of an async all-to-all-v
+// rendezvous: the exchanged parts and the collective's physical timeline.
+type a2avAsyncResult struct {
+	cost       netsim.Cost
+	start, end float64
+	// recv[dst][src] is the part sent by member src to member dst.
+	recv [][]Part
+}
+
+// CommHandle tracks one in-flight non-blocking collective for one rank.
+// Wait must be called by the issuing rank (handles are not shareable
+// across ranks) and is idempotent.
+type CommHandle struct {
+	r      *Rank
+	name   string
+	start  float64
+	end    float64
+	recv   []Part
+	waited bool
+}
+
+// Seconds returns the collective's full modeled duration, regardless of
+// how much of it overlaps compute.
+func (h *CommHandle) Seconds() float64 { return h.end - h.start }
+
+// Done reports whether the collective has completed by the rank's current
+// clock — i.e. whether Wait would charge nothing.
+func (h *CommHandle) Done() bool { return h.r.Clock >= h.end }
+
+// Wait blocks the rank's virtual clock until the collective completes and
+// returns the received parts (indexed by source member). Only the
+// *uncovered* remainder of the collective's cost — the part not hidden
+// behind compute the rank performed since issuing — is charged to the
+// clock and recorded under the collective's stage name, so per-stage
+// breakdowns still sum to wall-clock time. The full physical span is
+// recorded as an overlapped trace event.
+func (h *CommHandle) Wait() []Part {
+	if h.waited {
+		return h.recv
+	}
+	h.waited = true
+	r := h.r
+	r.Trace.RecordOverlapped(h.name, h.start, h.end-h.start)
+	uncovered := h.end - r.Clock
+	if uncovered < 0 {
+		uncovered = 0
+	}
+	r.Trace.Record(h.name, r.Clock, uncovered)
+	r.Clock += uncovered
+	return h.recv
+}
+
+// AlltoAllVAsync issues a non-blocking uneven all-to-all among the group:
+// like AlltoAllV, but the call returns immediately at the rank's current
+// clock with a handle. The collective physically starts once every member
+// has issued it and every member's comm stream is free, and completes one
+// netsim cost later; Wait charges the issuing rank only the uncovered
+// remainder. Every member must issue the same collectives in the same
+// order (SPMD discipline), including the interleaving of async issues and
+// waits with blocking collectives on the same group.
+func (r *Rank) AlltoAllVAsync(g *Group, name string, send []Part) *CommHandle {
+	if len(send) != g.Size() {
+		panic(fmt.Sprintf("simrt: AlltoAllVAsync send has %d parts for group of %d", len(send), g.Size()))
+	}
+	res := g.collectNoSync(r, a2avAsyncEntry{parts: send, busy: r.commBusyUntil},
+		func(entries []any, clocks []float64) any {
+			p := len(entries)
+			bytes := make([][]int64, p)
+			bytesFlat := make([]int64, p*p)
+			recv := make([][]Part, p)
+			recvFlat := make([]Part, p*p)
+			for d := range recv {
+				bytes[d] = bytesFlat[d*p : (d+1)*p]
+				recv[d] = recvFlat[d*p : (d+1)*p]
+			}
+			var start float64
+			for s, e := range entries {
+				ent := e.(a2avAsyncEntry)
+				if clocks[s] > start {
+					start = clocks[s]
+				}
+				if ent.busy > start {
+					start = ent.busy
+				}
+				for d, part := range ent.parts {
+					bytes[s][d] = part.Bytes
+					recv[d][s] = part
+				}
+			}
+			cost := g.c.Net.AlltoAllV(g.ranks, bytes)
+			return a2avAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: recv}
+		}).(a2avAsyncResult)
+	r.commBusyUntil = res.end
+	return &CommHandle{
+		r:     r,
+		name:  name,
+		start: res.start,
+		end:   res.end,
+		recv:  res.recv[g.IndexOf(r.ID)],
+	}
+}
+
+// ChunkRange returns the half-open row range [lo, hi) of chunk c when n
+// rows are split into chunks nearly-equal pieces: the canonical split the
+// chunked overlap pipelines use on both the send and receive side, so the
+// two ends agree on chunk boundaries without exchanging extra metadata.
+func ChunkRange(n, chunks, c int) (lo, hi int) {
+	if chunks <= 1 {
+		return 0, n
+	}
+	return n * c / chunks, n * (c + 1) / chunks
+}

@@ -157,6 +157,14 @@ type Rank struct {
 	Clock float64
 	// Trace records per-stage durations on this rank.
 	Trace *trace.Recorder
+	// commBusyUntil is the virtual time at which this rank's
+	// communication stream drains: non-blocking collectives issued by this
+	// rank serialise behind it (one in-order comm stream per rank, as on a
+	// dedicated NCCL/RCCL stream), so a newly issued collective cannot
+	// start before the previously issued ones complete. Only the owning
+	// goroutine touches it directly; peers observe it through the value
+	// deposited at each async rendezvous.
+	commBusyUntil float64
 }
 
 // Dev returns this rank's device.

@@ -28,6 +28,20 @@ type a2avResult struct {
 	recv [][]Part
 }
 
+// drainComm serialises a blocking collective behind the rank's in-flight
+// non-blocking transfers: the comm stream executes in order, so a
+// blocking operation cannot start (and the caller cannot return) before
+// previously issued async collectives complete. The drained time is
+// charged to the clock here and the deposited entry clock carries it to
+// the peers through the usual BSP max; callers capture their trace-span
+// start *before* draining, so the wait is attributed to the blocking
+// collective's span and breakdowns still sum to wall-clock time.
+func (r *Rank) drainComm() {
+	if r.commBusyUntil > r.Clock {
+		r.Clock = r.commBusyUntil
+	}
+}
+
 // AlltoAllV exchanges uneven per-destination parts among the group: send
 // must have one Part per member (send[j] goes to member j, including
 // self). It returns the parts this rank received, indexed by source
@@ -38,6 +52,7 @@ func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
 		panic(fmt.Sprintf("simrt: AlltoAllV send has %d parts for group of %d", len(send), g.Size()))
 	}
 	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, a2avEntry{parts: send}, func(entries []any, _ []float64) any {
 		// Row slices view two flat backing arrays: large groups would
 		// otherwise pay 2p allocations per collective, which dominates
@@ -89,6 +104,7 @@ type allReduceResult struct {
 // returned slice is shared by all members and must not be mutated.
 func (r *Rank) AllReduce(g *Group, name string, data []float32, bytes int64) []float32 {
 	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, allReduceEntry{data: data, bytes: bytes}, func(entries []any, _ []float64) any {
 		var maxBytes int64
 		var sum []float32
@@ -123,6 +139,7 @@ type allGatherResult struct {
 // be mutated.
 func (r *Rank) AllGather(g *Group, name string, part Part) []Part {
 	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, part, func(entries []any, _ []float64) any {
 		parts := make([]Part, len(entries))
 		bytes := make([]int64, len(entries))
@@ -149,6 +166,7 @@ type bcastResult struct {
 // the call without racing slower receivers.
 func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
 	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, part, func(entries []any, _ []float64) any {
 		p := entries[rootIdx].(Part)
 		if p.Data != nil {
@@ -166,6 +184,7 @@ func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
 // Barrier synchronises all members' clocks.
 func (r *Rank) Barrier(g *Group) {
 	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, nil, func(entries []any, _ []float64) any {
 		return g.c.Net.Barrier(g.ranks)
 	}).(netsim.Cost)
@@ -173,23 +192,47 @@ func (r *Rank) Barrier(g *Group) {
 	r.Trace.Record("barrier", start, r.Clock-start)
 }
 
+// countsResult is the shared result of one ExchangeCounts rendezvous.
+type countsResult struct {
+	cost netsim.Cost
+	// recv[dst] is the row of counts destined to member dst, indexed by
+	// source (views into one flat backing array).
+	recv [][]int64
+}
+
 // ExchangeCounts performs the small metadata all-to-all that precedes an
 // uneven payload exchange (the tokens_per_expert exchange in Listing 1,
 // line 44): each member sends counts[j] (one int64 per destination) and
 // receives the values destined to it, indexed by source. Wire size is 8
 // bytes per count.
+//
+// The caller's counts slice is read only inside the rendezvous, while
+// every member is parked, so rank-local scratch can be passed and freely
+// reused after the call — this keeps the per-layer metadata exchange
+// allocation-free on the rank side (the reducer's transposed matrix is
+// one amortised allocation shared by the whole group). The returned slice
+// is shared by construction and must not be mutated.
 func (r *Rank) ExchangeCounts(g *Group, name string, counts []int64) []int64 {
 	if len(counts) != g.Size() {
 		panic(fmt.Sprintf("simrt: ExchangeCounts has %d counts for group of %d", len(counts), g.Size()))
 	}
-	send := make([]Part, g.Size())
-	for j, v := range counts {
-		send[j] = Part{Meta: v, Bytes: 8}
-	}
-	recv := r.AlltoAllV(g, name, send)
-	out := make([]int64, g.Size())
-	for s, p := range recv {
-		out[s] = p.Meta.(int64)
-	}
-	return out
+	start := r.Clock
+	r.drainComm() // drained stream time is part of this collective's span
+	res := g.collect(r, counts, func(entries []any, _ []float64) any {
+		p := len(entries)
+		flat := make([]int64, p*p)
+		recv := make([][]int64, p)
+		for d := range recv {
+			recv[d] = flat[d*p : (d+1)*p]
+		}
+		for s, e := range entries {
+			for d, v := range e.([]int64) {
+				recv[d][s] = v
+			}
+		}
+		return countsResult{cost: g.c.Net.AlltoAllV(g.ranks, g.countBytes()), recv: recv}
+	}).(countsResult)
+	r.Clock += res.cost.Seconds
+	r.Trace.Record(name, start, r.Clock-start)
+	return res.recv[g.IndexOf(r.ID)]
 }

@@ -17,6 +17,30 @@ type Group struct {
 	mu      sync.Mutex
 	counter []uint64 // per-member collective sequence number
 	pending map[uint64]*rendezvous
+	// countMatrix is the lazily built constant byte matrix of the
+	// ExchangeCounts metadata collective (8 bytes per pair, self
+	// included), cached because it is identical for every exchange on
+	// this group and would otherwise be p+1 allocations per layer.
+	countMatrix [][]int64
+}
+
+// countBytes returns the cached ExchangeCounts byte matrix, building it on
+// first use. The matrix is immutable after construction.
+func (g *Group) countBytes() [][]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.countMatrix == nil {
+		p := len(g.ranks)
+		flat := make([]int64, p*p)
+		for i := range flat {
+			flat[i] = 8
+		}
+		g.countMatrix = make([][]int64, p)
+		for i := range g.countMatrix {
+			g.countMatrix[i] = flat[i*p : (i+1)*p]
+		}
+	}
+	return g.countMatrix
 }
 
 // Size returns the number of member ranks.
@@ -69,6 +93,20 @@ func newRendezvous(n int) *rendezvous {
 // modeled duration is part of the result and must be added to r.Clock by
 // the caller.
 func (g *Group) collect(r *Rank, entry any, reduce func(entries []any, clocks []float64) any) any {
+	return g.collectClock(r, entry, reduce, true)
+}
+
+// collectNoSync is collect without the BSP clock synchronisation: the rank
+// deposits its contribution, the payload exchange resolves, but the rank's
+// clock is left untouched so it can keep computing past the rendezvous.
+// Non-blocking collectives use this — the synchronisation point (the
+// collective's start time, max over entry clocks) travels inside the
+// reducer's result and is charged lazily by CommHandle.Wait.
+func (g *Group) collectNoSync(r *Rank, entry any, reduce func(entries []any, clocks []float64) any) any {
+	return g.collectClock(r, entry, reduce, false)
+}
+
+func (g *Group) collectClock(r *Rank, entry any, reduce func(entries []any, clocks []float64) any, sync bool) any {
 	idx := g.IndexOf(r.ID)
 
 	g.mu.Lock()
@@ -111,7 +149,7 @@ func (g *Group) collect(r *Rank, entry any, reduce func(entries []any, clocks []
 		g.mu.Unlock()
 	}
 
-	if mc > r.Clock {
+	if sync && mc > r.Clock {
 		r.Clock = mc
 	}
 	return res

@@ -249,6 +249,230 @@ func TestExchangeCounts(t *testing.T) {
 	}
 }
 
+// evenParts builds an even all-to-all send list of bytes per pair (self
+// included, matching the byte matrices used below).
+func evenParts(p int, bytes int64) []Part {
+	send := make([]Part, p)
+	for j := range send {
+		send[j] = Part{Bytes: bytes}
+	}
+	return send
+}
+
+// evenMatrix is the byte matrix equivalent of evenParts.
+func evenMatrix(p int, bytes int64) [][]int64 {
+	m := make([][]int64, p)
+	for i := range m {
+		m[i] = make([]int64, p)
+		for j := range m[i] {
+			m[i][j] = bytes
+		}
+	}
+	return m
+}
+
+func TestAsyncWaitChargesOnlyUncoveredRemainder(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 4 << 20
+	cost := c.Net.AlltoAllV(g.Ranks(), evenMatrix(4, bytes)).Seconds
+	if cost <= 0 {
+		t.Fatal("test needs a non-trivial collective cost")
+	}
+	err := c.Run(func(r *Rank) error {
+		// Fully covered: compute for 3x the collective's duration before
+		// waiting — the wait must charge nothing.
+		h := r.AlltoAllVAsync(g, "a2a", evenParts(4, bytes))
+		r.Compute("gemm", 3*cost)
+		before := r.Clock
+		h.Wait()
+		if r.Clock != before {
+			return fmt.Errorf("covered wait charged %.9fs", r.Clock-before)
+		}
+		if got := r.Trace.OverlappedTotal("a2a"); got != cost {
+			return fmt.Errorf("overlapped span %.9f, want full cost %.9f", got, cost)
+		}
+		if got := r.Trace.Total("a2a"); got != 0 {
+			return fmt.Errorf("clock-charged a2a %.9f, want 0 (fully hidden)", got)
+		}
+
+		// Partially covered: compute for half the duration — the wait
+		// must charge exactly the other half.
+		start := r.Clock
+		h2 := r.AlltoAllVAsync(g, "a2a2", evenParts(4, bytes))
+		r.Compute("gemm", cost/2)
+		h2.Wait()
+		// All ranks entered with equal clocks, so the collective spans
+		// [start, start+cost] and the rank computed to start+cost/2.
+		const eps = 1e-12
+		if got, want := r.Clock-start, cost; got < want-eps || got > want+eps {
+			return fmt.Errorf("partially covered total %.15f, want %.15f", got, want)
+		}
+		if got, want := r.Trace.Total("a2a2"), cost/2; got < want-eps || got > want+eps {
+			return fmt.Errorf("uncovered charge %.15f, want %.15f", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncImmediateWaitMatchesBlocking(t *testing.T) {
+	const bytes = 1 << 20
+	run := func(async bool) float64 {
+		c := testCluster(4)
+		g := c.WorldGroup()
+		ranks, err := c.RunCollect(func(r *Rank) error {
+			r.Compute("stagger", float64(r.ID)*1e-3)
+			send := make([]Part, 4)
+			for j := range send {
+				send[j] = Part{Data: []float32{float32(100*r.ID + j)}, Bytes: bytes}
+			}
+			var recv []Part
+			if async {
+				recv = r.AlltoAllVAsync(g, "a2a", send).Wait()
+			} else {
+				recv = r.AlltoAllV(g, "a2a", send)
+			}
+			for s, p := range recv {
+				if want := float32(100*s + r.ID); p.Data[0] != want {
+					return fmt.Errorf("recv from %d = %v, want %v", s, p.Data, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MaxClock(ranks)
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("async+immediate-wait wall clock %.9f != blocking %.9f", a, b)
+	}
+}
+
+// TestAsyncCommStreamSerialises pins the per-rank comm-stream model: two
+// in-flight collectives do not overlap each other, so waiting on both
+// costs the sum of their durations, not the max.
+func TestAsyncCommStreamSerialises(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 4 << 20
+	cost := c.Net.AlltoAllV(g.Ranks(), evenMatrix(4, bytes)).Seconds
+	err := c.Run(func(r *Rank) error {
+		h1 := r.AlltoAllVAsync(g, "a2a_1", evenParts(4, bytes))
+		h2 := r.AlltoAllVAsync(g, "a2a_2", evenParts(4, bytes))
+		h1.Wait()
+		h2.Wait()
+		if got, want := r.Clock, 2*cost; got != want {
+			return fmt.Errorf("two serialised collectives took %.9f, want %.9f", got, want)
+		}
+		if !h1.Done() || !h2.Done() {
+			return fmt.Errorf("handles must report done after wait")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockingCollectiveDrainsCommStream pins the comm-stream contract
+// for blocking calls too: a blocking collective issued while an async one
+// is in flight serialises behind it instead of overlapping for free.
+func TestBlockingCollectiveDrainsCommStream(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 4 << 20
+	a2aCost := c.Net.AlltoAllV(g.Ranks(), evenMatrix(4, bytes)).Seconds
+	arCost := c.Net.AllReduce(g.Ranks(), bytes).Seconds
+	err := c.Run(func(r *Rank) error {
+		h := r.AlltoAllVAsync(g, "a2a", evenParts(4, bytes))
+		r.AllReduce(g, "ar", nil, bytes)
+		if got, want := r.Clock, a2aCost+arCost; got < want-1e-12 {
+			return fmt.Errorf("blocking allreduce overlapped in-flight a2a: clock %.9f, want >= %.9f", got, want)
+		}
+		before := r.Clock
+		h.Wait() // already complete: the allreduce drained the stream first
+		if r.Clock != before {
+			return fmt.Errorf("wait after drain charged %.9f", r.Clock-before)
+		}
+		// The drained stream time must be attributed to a span: the
+		// clock-charged breakdown still sums to wall-clock time.
+		var sum float64
+		for _, d := range r.Trace.Breakdown() {
+			sum += d
+		}
+		if sum < r.Clock-1e-12 || sum > r.Clock+1e-12 {
+			return fmt.Errorf("breakdown sums to %.9f, wall-clock is %.9f", sum, r.Clock)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeCountsSteadyStateAllocs pins the metadata exchange's
+// rank-side allocation behaviour: steady-state iterations must stay below
+// a few amortised allocations per rank per call (the rendezvous machinery
+// and the reducer's shared transpose), where the pre-fix implementation
+// paid 2 slices plus one interface boxing per destination per rank.
+func TestExchangeCountsSteadyStateAllocs(t *testing.T) {
+	const world, iters = 4, 64
+	c := testCluster(world)
+	g := c.WorldGroup()
+	body := func(n int) func() {
+		return func() {
+			err := c.Run(func(r *Rank) error {
+				counts := make([]int64, world)
+				for j := range counts {
+					counts[j] = int64(1000*r.ID + j) // > 255: would box per call
+				}
+				for i := 0; i < n; i++ {
+					got := r.ExchangeCounts(g, "counts", counts)
+					if got[0] != int64(r.ID) && got[0] != 0 {
+						// touch the result so it cannot be optimised away
+						_ = got
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	base := testing.AllocsPerRun(10, body(0))
+	loaded := testing.AllocsPerRun(10, body(iters))
+	perCall := (loaded - base) / (world * iters)
+	if perCall > 5 {
+		t.Fatalf("ExchangeCounts allocates %.2f allocs per rank-call in steady state, want <= 5", perCall)
+	}
+}
+
+func TestChunkRange(t *testing.T) {
+	for _, tc := range []struct{ n, chunks int }{{10, 4}, {3, 8}, {0, 4}, {7, 1}, {16, 4}} {
+		covered := 0
+		prevHi := 0
+		for c := 0; c < tc.chunks; c++ {
+			lo, hi := ChunkRange(tc.n, tc.chunks, c)
+			if lo != prevHi || hi < lo || hi > tc.n {
+				t.Fatalf("ChunkRange(%d,%d,%d) = [%d,%d) not contiguous", tc.n, tc.chunks, c, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n {
+			t.Fatalf("ChunkRange(%d,%d) covers %d rows", tc.n, tc.chunks, covered)
+		}
+	}
+	if lo, hi := ChunkRange(9, 1, 0); lo != 0 || hi != 9 {
+		t.Fatalf("single chunk must span everything, got [%d,%d)", lo, hi)
+	}
+}
+
 func TestSubGroupsOperateIndependently(t *testing.T) {
 	c := testCluster(8)
 	g0 := c.NewGroup([]int{0, 1, 2, 3})

@@ -17,6 +17,13 @@ type Event struct {
 	Start float64
 	// Dur is the span's duration in seconds.
 	Dur float64
+	// Overlap marks a span that ran concurrently with the rank's compute
+	// (an in-flight non-blocking collective). Overlapped spans describe
+	// where the communication physically was on the timeline; the clock
+	// charge they caused is recorded separately as a regular span holding
+	// only the uncovered remainder, so Breakdown sums (which must add up
+	// to wall-clock time) skip them.
+	Overlap bool
 }
 
 // Recorder accumulates events. It is safe for concurrent use. The zero
@@ -33,6 +40,17 @@ func (r *Recorder) Record(name string, start, dur float64) {
 	r.mu.Unlock()
 }
 
+// RecordOverlapped appends an overlapped span: a non-blocking collective
+// that was in flight from start for dur seconds while the rank kept
+// computing. Overlapped spans are excluded from Breakdown/Total (the
+// uncovered clock charge is recorded separately by the waiter); use
+// OverlappedTotal/OverlapBreakdown to inspect them.
+func (r *Recorder) RecordOverlapped(name string, start, dur float64) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Start: start, Dur: dur, Overlap: true})
+	r.mu.Unlock()
+}
+
 // Events returns a copy of all recorded events in insertion order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
@@ -42,26 +60,62 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// Total returns the summed duration of all events with the given name.
+// Total returns the summed duration of all clock-charged (non-overlapped)
+// events with the given name.
 func (r *Recorder) Total(name string) float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var t float64
 	for _, e := range r.events {
-		if e.Name == name {
+		if e.Name == name && !e.Overlap {
 			t += e.Dur
 		}
 	}
 	return t
 }
 
-// Breakdown returns the summed duration per event name.
+// OverlappedTotal returns the summed duration of the overlapped spans with
+// the given name: the full in-flight time of non-blocking collectives,
+// regardless of how much of it was hidden behind compute. The hidden
+// portion is OverlappedTotal(name) - Total(name) when the waiter records
+// the uncovered remainder under the same name.
+func (r *Recorder) OverlappedTotal(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t float64
+	for _, e := range r.events {
+		if e.Name == name && e.Overlap {
+			t += e.Dur
+		}
+	}
+	return t
+}
+
+// Breakdown returns the summed duration per event name over clock-charged
+// spans only, so the values add up to the rank's wall-clock time even when
+// overlapped collectives are present.
 func (r *Recorder) Breakdown() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := map[string]float64{}
 	for _, e := range r.events {
-		out[e.Name] += e.Dur
+		if !e.Overlap {
+			out[e.Name] += e.Dur
+		}
+	}
+	return out
+}
+
+// OverlapBreakdown returns the summed duration per event name over
+// overlapped spans only.
+func (r *Recorder) OverlapBreakdown() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for _, e := range r.events {
+		if e.Overlap {
+			out[e.Name] += e.Dur
+		}
 	}
 	return out
 }

@@ -34,6 +34,44 @@ func TestRecordAndTotals(t *testing.T) {
 	}
 }
 
+// TestOverlappedSpans pins the split accounting of non-blocking
+// collectives: overlapped spans carry the physical comm timeline and stay
+// out of Breakdown/Total, so clock-charged sums still equal wall-clock.
+func TestOverlappedSpans(t *testing.T) {
+	var r Recorder
+	r.Record("gemm", 0, 3.0)
+	r.RecordOverlapped("a2a", 0, 2.5)
+	r.Record("a2a", 3.0, 0.5) // uncovered remainder charged by Wait
+	if got := r.Total("a2a"); got != 0.5 {
+		t.Fatalf("Total(a2a) = %f, want only the uncovered 0.5", got)
+	}
+	if got := r.OverlappedTotal("a2a"); got != 2.5 {
+		t.Fatalf("OverlappedTotal(a2a) = %f, want 2.5", got)
+	}
+	if got := r.OverlappedTotal("gemm"); got != 0 {
+		t.Fatalf("OverlappedTotal(gemm) = %f, want 0", got)
+	}
+	b := r.Breakdown()
+	if b["gemm"] != 3.0 || b["a2a"] != 0.5 {
+		t.Fatalf("Breakdown = %v", b)
+	}
+	var wall float64
+	for _, d := range b {
+		wall += d
+	}
+	if wall != 3.5 {
+		t.Fatalf("clock-charged breakdown sums to %f, want wall-clock 3.5", wall)
+	}
+	ob := r.OverlapBreakdown()
+	if len(ob) != 1 || ob["a2a"] != 2.5 {
+		t.Fatalf("OverlapBreakdown = %v", ob)
+	}
+	evs := r.Events()
+	if len(evs) != 3 || !evs[1].Overlap || evs[2].Overlap {
+		t.Fatalf("Events overlap flags wrong: %+v", evs)
+	}
+}
+
 func TestEventsReturnsCopy(t *testing.T) {
 	var r Recorder
 	r.Record("a", 0, 1)
