@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full bench bench-figs bench-json ci
+.PHONY: all build vet test race race-fast race-full bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -32,11 +32,12 @@ race:
 # The concurrency-critical packages only: worker pool + tensor arenas
 # (tensor), rank goroutines, rendezvous collectives and async handles
 # (simrt), cost memoization (netsim), overlapped-span recording (trace),
-# pooled + chunked pipelines (moe, rbd, kernels).
+# pooled + chunked pipelines (moe, rbd, kernels), and the overlapped
+# distributed trainer (train).
 race-fast:
 	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/netsim \
 		./internal/trace ./internal/moe ./internal/kernels ./internal/rbd \
-		./internal/collective
+		./internal/collective ./internal/train
 
 # Kept as an alias for the historical target name.
 race-full: race
@@ -50,6 +51,15 @@ bench-figs:
 
 bench-json:
 	$(GO) run ./cmd/xmoe-bench -quick -json
+
+# Record the per-PR performance trajectory into BENCH_results.json (which
+# is committed): the scaling figures in quick mode for host-side ns/op and
+# allocs/op stability, plus the overlap ablations at full fidelity (EP=64,
+# the acceptance configuration) for the simulated speedups.
+bench-save:
+	$(GO) run ./cmd/xmoe-bench -quick -json -experiment fig10a,fig10b,fig11,fig12
+	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd
+	@echo "BENCH_results.json updated; commit it with this PR"
 
 # Quick CI: vet + build + race tests on the fast packages + unit tests of
 # the remaining packages + a quick microbenchmark smoke run.

@@ -20,11 +20,13 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"xmoe/internal/bench"
+	"xmoe/internal/moe"
 )
 
 var experiments = map[string]func(w io.Writer, opts bench.Options){
@@ -46,17 +48,18 @@ var experiments = map[string]func(w io.Writer, opts bench.Options){
 	"fig20":  func(w io.Writer, o bench.Options) { bench.Figure20DepthTopK(w, o) },
 	"appc1":  func(w io.Writer, o bench.Options) { bench.AppendixC1Placement(w) },
 	// Ablations beyond the paper's figures (design choices of §4).
-	"abl-pilot":    func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
-	"abl-capacity": func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
-	"abl-rbd-ep":   func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
-	"abl-overlap":  func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
+	"abl-pilot":       func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
+	"abl-capacity":    func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
+	"abl-rbd-ep":      func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
+	"abl-overlap":     func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
+	"abl-overlap-bwd": func(w io.Writer, o bench.Options) { bench.AblationOverlapBackward(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
 var order = []string{
 	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
-	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap",
+	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap", "abl-overlap-bwd",
 }
 
 // jsonRecord is one experiment's machine-readable result.
@@ -108,7 +111,26 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed for routing and congestion sampling")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonOut := flag.Bool("json", false, "benchmark each experiment and append machine-readable results to "+jsonPath)
+	chunksFlag := flag.String("chunks", "", "comma-separated chunk counts for the overlap ablations (default 1,2,4,8; the C=1 blocking baseline is always included)")
 	flag.Parse()
+
+	// Validate the flag-derived overlap options up front so the user sees
+	// the descriptive PipelineOpts.Check error, not a rank panic.
+	var chunks []int
+	if *chunksFlag != "" {
+		for _, tok := range strings.Split(*chunksFlag, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "invalid -chunks entry %q: %v\n", tok, err)
+				os.Exit(2)
+			}
+			if err := (moe.PipelineOpts{OverlapChunks: c}).Check(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			chunks = append(chunks, c)
+		}
+	}
 
 	if *list {
 		names := make([]string, 0, len(experiments))
@@ -120,7 +142,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Seed: *seed, Quick: *quick}
+	opts := bench.Options{Seed: *seed, Quick: *quick, Chunks: chunks}
 	var records []jsonRecord
 	run := func(name string) {
 		fn, ok := experiments[name]

@@ -191,7 +191,7 @@ func AblationOverlap(w io.Writer, opts Options) []AblationOverlapResult {
 	if opts.Quick {
 		points = []pt{{model.Large(), 16}}
 	}
-	chunkCounts := []int{1, 2, 4, 8}
+	chunkCounts := opts.chunkCounts()
 
 	var out []AblationOverlapResult
 	for _, p := range points {
@@ -254,12 +254,126 @@ func AblationOverlap(w io.Writer, opts Options) []AblationOverlapResult {
 				fmt.Sprintf("%.2f", res.RBDMs[i]), speed(res.RBDMs[0], res.RBDMs[i]))
 		}
 		t.write(w)
-		RecordMetric("abl_overlap_"+p.shape.Name+"_pft_c4_speedup", res.PFTMs[0]/res.PFTMs[2])
-		RecordMetric("abl_overlap_"+p.shape.Name+"_pft_c4_ms", res.PFTMs[2])
+		for i, chunks := range chunkCounts {
+			if chunks != 4 {
+				continue
+			}
+			RecordMetric("abl_overlap_"+p.shape.Name+"_pft_c4_speedup", res.PFTMs[0]/res.PFTMs[i])
+			RecordMetric("abl_overlap_"+p.shape.Name+"_pft_c4_ms", res.PFTMs[i])
+			RecordMetric("abl_overlap_"+p.shape.Name+"_padded_c4_speedup", res.PaddedMs[0]/res.PaddedMs[i])
+			RecordMetric("abl_overlap_"+p.shape.Name+"_rbd_c4_speedup", res.RBDMs[0]/res.RBDMs[i])
+		}
 	}
 	fmt.Fprintln(w, "  overlap on (C>=2) hides dispatch/combine all-to-alls behind expert GEMMs;")
 	fmt.Fprintln(w, "  numeric-mode chunked output is bit-identical to blocking (determinism tests)")
 	return out
+}
+
+// AblationOverlapBackwardResult records the fwd-only vs fwd+bwd overlap
+// sweep for one pipeline: simulated fwd+bwd step time per chunk count.
+type AblationOverlapBackwardResult struct {
+	Pipeline  string
+	EP        int
+	Chunks    []int
+	FwdOnlyMs []float64 // forward overlapped at C, backward blocking
+	FwdBwdMs  []float64 // both passes overlapped at C
+}
+
+// AblationOverlapBackward extends abl-overlap to the whole training step
+// (the PR-5 tentpole): a full fwd+bwd on the Fig. 11 Large-model layer at
+// EP=64 (EP=16 in quick mode), sweeping C with the forward pass always
+// overlapped at C but the backward either blocking (fwd-only, what PR 2
+// could do) or overlapped at the same C. Piper and the Megatron Core MoE
+// overlap report both find the backward half of the step is where most of
+// the hideable all-to-all time lives — the fwd+bwd column must therefore
+// beat both the blocking baseline (C=1) and the fwd-only column.
+func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwardResult {
+	m := topology.Frontier()
+	shape := model.Large()
+	ep := 64
+	s := shape.SeqLen
+	if opts.Quick {
+		ep = 16
+		s = 2048
+	}
+	cfg := moe.Config{
+		NumExperts: shape.NumExperts, TopK: shape.TopK,
+		HModel: shape.HModel, HFFN: shape.HFFN,
+		CapacityFactor: 1.25, BytesPerElem: 2,
+	}
+	chunkCounts := opts.chunkCounts()
+
+	var out []AblationOverlapBackwardResult
+	for _, pipe := range []string{"pft", "padded"} {
+		res := AblationOverlapBackwardResult{Pipeline: pipe, EP: ep, Chunks: chunkCounts}
+		for _, chunks := range chunkCounts {
+			res.FwdOnlyMs = append(res.FwdOnlyMs, StepClock(m, cfg, ep, s, pipe, chunks, 1, opts.Seed)*1e3)
+			res.FwdBwdMs = append(res.FwdBwdMs, StepClock(m, cfg, ep, s, pipe, chunks, chunks, opts.Seed)*1e3)
+		}
+		out = append(out, res)
+
+		header(w, fmt.Sprintf("Ablation: backward-pass overlap, %s fwd+bwd step, %s layer, EP=%d (ms)", pipe, shape.Name, ep))
+		t := newTable("chunks", "fwd-only overlap", "speedup", "fwd+bwd overlap", "speedup")
+		base := res.FwdBwdMs[0] // C=1 everywhere: the fully blocking step
+		for i, chunks := range chunkCounts {
+			label := fmt.Sprintf("C=%d", chunks)
+			if chunks == 1 {
+				label += " (blocking)"
+			}
+			t.add(label,
+				fmt.Sprintf("%.2f", res.FwdOnlyMs[i]), fmt.Sprintf("%.2fx", base/res.FwdOnlyMs[i]),
+				fmt.Sprintf("%.2f", res.FwdBwdMs[i]), fmt.Sprintf("%.2fx", base/res.FwdBwdMs[i]))
+		}
+		t.write(w)
+		for i, chunks := range chunkCounts {
+			if chunks == 4 {
+				RecordMetric("abl_overlap_bwd_"+pipe+"_c4_speedup", base/res.FwdBwdMs[i])
+				RecordMetric("abl_overlap_bwd_"+pipe+"_c4_fwdonly_speedup", base/res.FwdOnlyMs[i])
+				RecordMetric("abl_overlap_bwd_"+pipe+"_c4_ms", res.FwdBwdMs[i])
+			}
+		}
+	}
+	fmt.Fprintln(w, "  fwd-only overlap = PR-2 state (backward fully blocking); fwd+bwd chunks the")
+	fmt.Fprintln(w, "  mirrored backward all-to-alls too and defers the dW GEMMs to hide the tail;")
+	fmt.Fprintln(w, "  chunked gradients are bit-identical to blocking (determinism tests)")
+	return out
+}
+
+// StepClock measures one timing-only (symbolic) MoE fwd+bwd step of the
+// given transport ("pft" or "padded") on a fresh world-rank cluster,
+// with independent forward/backward overlap chunk counts, and returns
+// the simulated wall-clock of the slowest rank. It is the shared harness
+// behind AblationOverlapBackward and xmoe-train's "timing at scale"
+// report, so the two always measure the same regime.
+func StepClock(m *topology.Machine, cfg moe.Config, world, s int, transport string,
+	fwdChunks, bwdChunks int, seed uint64) float64 {
+
+	c := simrt.NewCluster(m, world, seed)
+	c.Net.DisableCongestion = true
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(seed + uint64(r.ID))
+		rt := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0)
+		fwdOpts := moe.PipelineOpts{DropPolicy: moe.DropByCapacityWeight,
+			SaveForBackward: true, OverlapChunks: fwdChunks}
+		bwdOpts := moe.PipelineOpts{OverlapChunks: bwdChunks}
+		switch transport {
+		case "pft":
+			res := moe.PFTForward(r, g, cfg, s, nil, rt, nil, fwdOpts)
+			moe.PFTBackward(r, g, cfg, res.State, nil, nil, bwdOpts)
+		case "padded":
+			fwdOpts.DropPolicy = moe.DropNegativeThenPosition
+			res := moe.PaddedForward(r, g, cfg, s, nil, rt, nil, fwdOpts)
+			moe.PaddedBackward(r, g, cfg, res.PaddedState, nil, nil, bwdOpts)
+		default:
+			panic(fmt.Sprintf("bench: unknown transport %q", transport))
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return simrt.MaxClock(ranks)
 }
 
 // rbdDispatchTime measures mean dispatch-side communication time per rank

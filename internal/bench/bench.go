@@ -20,10 +20,32 @@ type Options struct {
 	// Quick reduces iteration counts and sweep ranges for use inside
 	// unit tests and testing.B loops; full fidelity runs leave it false.
 	Quick bool
+	// Chunks overrides the chunk counts the overlap ablations sweep
+	// (default {1, 2, 4, 8}); entries must pass PipelineOpts.Check.
+	Chunks []int
 }
 
 // DefaultOptions returns the seed used for all published outputs.
 func DefaultOptions() Options { return Options{Seed: 42} }
+
+// chunkCounts returns the overlap sweep's chunk counts. The sweep tables
+// and every recorded speedup are relative to the C=1 blocking baseline,
+// so 1 is always included (first), and duplicates or non-positive
+// entries are dropped — a user-supplied `-chunks 4,8` sweeps {1, 4, 8}.
+func (o Options) chunkCounts() []int {
+	if len(o.Chunks) == 0 {
+		return []int{1, 2, 4, 8}
+	}
+	out := []int{1}
+	seen := map[int]bool{1: true}
+	for _, c := range o.Chunks {
+		if c > 0 && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // Experiment metrics registry: experiments report headline simulated
 // quantities (throughput, layer times) here so machine-readable harnesses

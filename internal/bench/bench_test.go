@@ -303,6 +303,34 @@ func TestAblationOverlapChunkedStrictlyFaster(t *testing.T) {
 	}
 }
 
+// TestAblationOverlapBackwardStrictlyFaster is the acceptance gate of the
+// backward-pass overlap (PR-5 tentpole): on the Fig. 11 configuration the
+// full fwd+bwd step with both passes chunked must be strictly faster than
+// the fully blocking step for every C >= 2, in both transports, and must
+// also beat the fwd-only-overlap step (the pre-backward-overlap state) —
+// the backward is where the remaining hideable all-to-all time lives.
+func TestAblationOverlapBackwardStrictlyFaster(t *testing.T) {
+	results := AblationOverlapBackward(io.Discard, quickOpts())
+	if len(results) != 2 {
+		t.Fatalf("expected pft and padded results, got %d", len(results))
+	}
+	for _, res := range results {
+		for i, chunks := range res.Chunks {
+			if chunks == 1 {
+				continue
+			}
+			if res.FwdBwdMs[i] >= res.FwdBwdMs[0] {
+				t.Errorf("%s C=%d: fwd+bwd %.3fms not strictly faster than blocking %.3fms",
+					res.Pipeline, chunks, res.FwdBwdMs[i], res.FwdBwdMs[0])
+			}
+			if res.FwdBwdMs[i] >= res.FwdOnlyMs[i] {
+				t.Errorf("%s C=%d: fwd+bwd %.3fms does not beat fwd-only overlap %.3fms",
+					res.Pipeline, chunks, res.FwdBwdMs[i], res.FwdOnlyMs[i])
+			}
+		}
+	}
+}
+
 func TestAblationRBDByEPSavingShrinks(t *testing.T) {
 	res := AblationRBDByEPSize(io.Discard, quickOpts())
 	if len(res.Saving) < 2 {

@@ -46,7 +46,7 @@ func (hn bwdHarness) run(t *testing.T, withBackward bool, perturb func(rankID in
 		if withBackward {
 			dOut := tensor.New(hn.s, hn.cfg.HModel)
 			dOut.Fill(1)
-			bwd := PFTBackward(r, g, hn.cfg, res.State, dOut, params)
+			bwd := PFTBackward(r, g, hn.cfg, res.State, dOut, params, PipelineOpts{Numeric: true})
 			if r.ID == 0 {
 				mu.Lock()
 				grads = bwd
@@ -147,6 +147,62 @@ func TestPFTBackwardCombineWeightGradients(t *testing.T) {
 	}
 }
 
+// TestPaddedBackwardMatchesPFTBackward validates the new padded backward
+// against the numerically-verified PFT backward: under the FCFS drop
+// policy both pipelines retain exactly the same assignments, so dX and
+// the per-expert weight gradients must agree within float tolerance.
+func TestPaddedBackwardMatchesPFTBackward(t *testing.T) {
+	cfg := distConfig(8, 3)
+	const world, s = 4, 24
+	run := func(padded bool) map[int]BackwardResult {
+		c := newMoECluster(t, world)
+		g := c.WorldGroup()
+		epr := cfg.NumExperts / world
+		grads := make(map[int]BackwardResult)
+		var mu sync.Mutex
+		err := c.Run(func(r *simrt.Rank) error {
+			rng := tensor.NewRNG(uint64(700 + r.ID))
+			x := tensor.Randn(rng, 1, s, cfg.HModel)
+			routing := SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+			params := localParams(g.IndexOf(r.ID), epr, cfg.HModel, cfg.HFFN)
+			opts := PipelineOpts{Numeric: true, DropPolicy: DropNegativeThenPosition, SaveForBackward: true}
+			dOut := tensor.New(s, cfg.HModel)
+			for i := range dOut.Data {
+				dOut.Data[i] = float32(i%5)*0.2 - 0.4
+			}
+			var bwd BackwardResult
+			if padded {
+				res := PaddedForward(r, g, cfg, s, x, routing, params, opts)
+				bwd = PaddedBackward(r, g, cfg, res.PaddedState, dOut, params, opts)
+			} else {
+				res := PFTForward(r, g, cfg, s, x, routing, params, opts)
+				bwd = PFTBackward(r, g, cfg, res.State, dOut, params, opts)
+			}
+			mu.Lock()
+			grads[r.ID] = bwd
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grads
+	}
+	pft := run(false)
+	pad := run(true)
+	for rank := range pft {
+		if !pft[rank].DX.Equal(pad[rank].DX, 1e-3) {
+			t.Fatalf("rank %d: padded dX differs from PFT dX", rank)
+		}
+		for e := range pft[rank].DW1 {
+			if !pft[rank].DW1[e].Equal(pad[rank].DW1[e], 1e-3) ||
+				!pft[rank].DW2[e].Equal(pad[rank].DW2[e], 1e-3) {
+				t.Fatalf("rank %d expert %d: padded weight gradients differ from PFT", rank, e)
+			}
+		}
+	}
+}
+
 // TestBackwardMirrorsForwardCommunication checks the §4.3 accounting: the
 // backward pass issues the same two all-to-alls with the same volumes as
 // the forward pass (4 per layer per step in total, no extras).
@@ -166,7 +222,7 @@ func TestBackwardMirrorsForwardCommunication(t *testing.T) {
 		})
 		dOut := tensor.New(s, cfg.HModel)
 		dOut.Fill(1)
-		PFTBackward(r, g, cfg, res.State, dOut, params)
+		PFTBackward(r, g, cfg, res.State, dOut, params, PipelineOpts{Numeric: true})
 		return nil
 	})
 	if err != nil {

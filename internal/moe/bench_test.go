@@ -59,7 +59,7 @@ func BenchmarkPFTLayerForwardBackward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := c.Run(func(r *simrt.Rank) error {
 			res := PFTForward(r, g, cfg, s, xs[r.ID], routings[r.ID], params[r.ID], opts)
-			PFTBackward(r, g, cfg, res.State, douts[r.ID], params[r.ID])
+			PFTBackward(r, g, cfg, res.State, douts[r.ID], params[r.ID], PipelineOpts{Numeric: true})
 			return nil
 		})
 		if err != nil {

@@ -41,7 +41,7 @@ func runFixedSeedLayer(t *testing.T, disablePools bool, iters int) map[int]layer
 			})
 			dOut := tensor.New(s, cfg.HModel)
 			dOut.Fill(0.5)
-			bwd := PFTBackward(r, g, cfg, res.State, dOut, params)
+			bwd := PFTBackward(r, g, cfg, res.State, dOut, params, PipelineOpts{Numeric: true})
 			mu.Lock()
 			results[r.ID] = layerPass{
 				out: res.Output, dx: bwd.DX,

@@ -54,9 +54,11 @@ type PipelineOpts struct {
 	// them; otherwise transient buffers are freed as the pipeline
 	// proceeds.
 	RetainActivations bool
-	// SaveForBackward captures the numeric intermediate state needed by
-	// PFTBackward (implies Numeric and RetainActivations semantics for
-	// the captured tensors).
+	// SaveForBackward captures the intermediate state needed by
+	// PFTBackward / PaddedBackward: in numeric mode the forward
+	// activations (with RetainActivations semantics for the captured
+	// tensors), in symbolic mode the exchange geometry only, so a
+	// timing-only backward pass can mirror the forward volumes.
 	SaveForBackward bool
 	// OverlapChunks selects the chunked comm/compute-overlap execution of
 	// the dispatch -> experts -> combine middle section: the routed
@@ -67,8 +69,48 @@ type PipelineOpts struct {
 	// overlap). Values <= 1 select the blocking pipeline. Numeric output
 	// is bit-identical to the blocking pipeline for any chunk count (the
 	// expert FFN is row-independent and chunking never reorders the
-	// per-row arithmetic). Not supported together with SaveForBackward.
+	// per-row arithmetic). Composes with SaveForBackward: the overlapped
+	// forward scatters its per-chunk intermediates into the same
+	// full-layout buffers the blocking forward saves, and the backward
+	// passes accept the same chunk count to overlap their mirrored
+	// all-to-alls (see PFTBackward).
 	OverlapChunks int
+}
+
+// maxOverlapChunks bounds the chunk count: beyond this, per-chunk launch
+// and message latencies dwarf any conceivable transfer left to hide.
+const maxOverlapChunks = 4096
+
+// Check validates the option combination, returning a descriptive error
+// for unsupported or nonsensical settings. The pipelines call it on entry
+// (panicking with the error, as misconfiguration inside an SPMD body
+// cannot be returned); CLIs call it directly on flag-derived options so
+// the user sees the message instead of a rank panic.
+func (o PipelineOpts) Check() error {
+	if o.OverlapChunks < 0 {
+		return fmt.Errorf("moe: OverlapChunks must be >= 0, got %d", o.OverlapChunks)
+	}
+	if o.OverlapChunks > maxOverlapChunks {
+		return fmt.Errorf("moe: OverlapChunks %d exceeds the supported maximum %d", o.OverlapChunks, maxOverlapChunks)
+	}
+	if o.CombineBytes < 0 {
+		return fmt.Errorf("moe: CombineBytes must be >= 0, got %d", o.CombineBytes)
+	}
+	if o.Kernels < KernelsTriton || o.Kernels > KernelsVendor {
+		return fmt.Errorf("moe: unknown kernel profile %d", o.Kernels)
+	}
+	if o.DropPolicy < DropByCapacityWeight || o.DropPolicy > DropNegativeThenPosition {
+		return fmt.Errorf("moe: unknown drop policy %d", o.DropPolicy)
+	}
+	return nil
+}
+
+// mustCheck panics with the descriptive Check error; pipeline entry
+// points run inside SPMD rank bodies and cannot return errors.
+func (o PipelineOpts) mustCheck() {
+	if err := o.Check(); err != nil {
+		panic(err.Error())
+	}
 }
 
 func (o PipelineOpts) combineBytes(cfg Config) int {
@@ -115,14 +157,18 @@ type LayerResult struct {
 	RecvTokens int
 	// Dropped is the number of assignments removed by the drop policy.
 	Dropped int
-	// State carries the saved intermediates for PFTBackward (only when
-	// opts.SaveForBackward).
+	// State carries the saved intermediates for PFTBackward (PFT
+	// pipeline, only when opts.SaveForBackward).
 	State *PFTFwdState
+	// PaddedState carries the saved intermediates for PaddedBackward
+	// (padded pipeline, only when opts.SaveForBackward).
+	PaddedState *PaddedFwdState
 }
 
 // PFTFwdState is the per-rank forward state the distributed backward pass
 // consumes: the PFT, the exchange segmentation, and the expert-FFN
-// intermediates.
+// intermediates. In symbolic mode the tensors are nil and only the
+// geometry is populated, which is all the timing-only backward needs.
 type PFTFwdState struct {
 	S          int
 	PFT        *PFT
@@ -133,6 +179,33 @@ type PFTFwdState struct {
 	HidPre     *tensor.Tensor // [BExp, F] pre-activation
 	HidAct     *tensor.Tensor // [BExp, F] post-GeLU
 	CombineIn  *tensor.Tensor // [B, H] returned expert outputs, PFT order
+}
+
+// bExp returns the number of expert-input rows this rank processed.
+func (st *PFTFwdState) bExp() int {
+	n := 0
+	for _, c := range st.RowsPerLE {
+		n += c
+	}
+	return n
+}
+
+// PaddedFwdState is the padded pipeline's saved forward state for
+// PaddedBackward: the dispatch plan plus the expert-FFN intermediates in
+// the expert-major padded layout ((le*P + src)*C + slot row order). In
+// symbolic mode the tensors are nil; the even geometry is fully
+// determined by the config and group size.
+type PaddedFwdState struct {
+	S  int
+	PA *PaddedAssignment
+	// ExpertIn, HidPre, HidAct are the [EPR*P*C, H/F] expert-major
+	// buffers of the padded expert computation.
+	ExpertIn *tensor.Tensor
+	HidPre   *tensor.Tensor
+	HidAct   *tensor.Tensor
+	// CombineFull is the [E*C, H] returned padded buffer in
+	// global-expert slot order (the combine einsum's input).
+	CombineFull *tensor.Tensor
 }
 
 // epCheck validates the expert-parallel layout and returns experts/rank.
@@ -150,6 +223,7 @@ func epCheck(cfg Config, g *simrt.Group) int {
 // is the local token count; x is the [s, H] input (nil in symbolic mode);
 // routing is the gate decision for the local tokens.
 func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult {
+	opts.mustCheck()
 	epr := epCheck(cfg, g)
 	p := g.Size()
 	h, f := cfg.HModel, cfg.HFFN
@@ -184,9 +258,6 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 
 	// Chunked comm/compute-overlap execution of the middle section.
 	if opts.chunks() > 1 {
-		if opts.SaveForBackward {
-			panic("moe: OverlapChunks does not support SaveForBackward")
-		}
 		return pftForwardOverlap(r, g, cfg, s, pft, dispIn, params, opts)
 	}
 
@@ -389,6 +460,7 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 // padding, batched padded expert GEMMs, the reverse all-to-all, and the
 // mask-einsum combine.
 func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult {
+	opts.mustCheck()
 	epr := epCheck(cfg, g)
 	p := g.Size()
 	h, f, e := cfg.HModel, cfg.HFFN, cfg.NumExperts
@@ -440,9 +512,6 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 
 	// Chunked comm/compute-overlap execution of the middle section.
 	if opts.chunks() > 1 {
-		if opts.SaveForBackward {
-			panic("moe: OverlapChunks does not support SaveForBackward")
-		}
 		return paddedForwardOverlap(r, g, cfg, s, pa, dispBuf, params, opts, kernelClass, maskBytes, intermBytes)
 	}
 
@@ -475,9 +544,10 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 	mem.Alloc("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
 	mem.Alloc("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
 	var expertOut *tensor.Tensor
+	var expertIn, hidPre, hidAct *tensor.Tensor
 	if opts.Numeric {
 		// Expert-major view: rows of local expert le from all sources.
-		expertIn := pool.Get(epr*rowsPerExpert, h)
+		expertIn = pool.Get(epr*rowsPerExpert, h)
 		for src := 0; src < p; src++ {
 			data := recv[src].Data
 			for le := 0; le < epr; le++ {
@@ -490,12 +560,19 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 		for i := range rows {
 			rows[i] = rowsPerExpert
 		}
-		interm := pool.Get(epr*rowsPerExpert, f)
-		kernels.SequentialGEMMInto(interm, expertIn, rows, params.W1)
-		tensor.GeLU(interm)
+		hidPre = pool.Get(epr*rowsPerExpert, f)
+		kernels.SequentialGEMMInto(hidPre, expertIn, rows, params.W1)
+		hidAct = hidPre
+		if opts.SaveForBackward {
+			hidAct = pool.Get(epr*rowsPerExpert, f)
+			hidAct.Copy(hidPre)
+		}
+		tensor.GeLU(hidAct)
 		expertOut = pool.Get(epr*rowsPerExpert, h)
-		kernels.SequentialGEMMInto(expertOut, interm, rows, params.W2)
-		pool.PutAll(expertIn, interm)
+		kernels.SequentialGEMMInto(expertOut, hidAct, rows, params.W2)
+		if !opts.SaveForBackward {
+			pool.PutAll(expertIn, hidPre)
+		}
 	}
 
 	// --- Even all-to-all (combine) -----------------------------------------
@@ -527,16 +604,19 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 		r.Compute(StageCombine, comp.MaskEinsum(s, e, capTokens, h))
 	}
 	var out *tensor.Tensor
+	var full *tensor.Tensor
 	if opts.Numeric {
 		// expertOut is fully staged into the send-back buffers.
 		pool.Put(expertOut)
-		full := pool.Get(e*capTokens, h)
+		full = pool.Get(e*capTokens, h)
 		for dst := 0; dst < p; dst++ {
 			d := back[dst].Data
 			copy(full.Data[dst*epr*capTokens*h:(dst*epr+epr)*capTokens*h], d)
 		}
 		out = kernels.PaddedCombine(full.Reshape(e, capTokens, h), pa.SlotToken, pa.SlotWeight, capTokens, s)
-		pool.Put(full)
+		if !opts.SaveForBackward {
+			pool.Put(full)
+		}
 	}
 	mem.Alloc("output", int64(s)*int64(h)*elem)
 
@@ -550,10 +630,21 @@ func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.T
 		mem.Free("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
 	}
 
-	return LayerResult{
+	res := LayerResult{
 		Output:       out,
 		RoutedTokens: pa.Occupied,
 		RecvTokens:   epr * rowsPerExpert,
 		Dropped:      pa.Dropped,
 	}
+	if opts.SaveForBackward {
+		res.PaddedState = &PaddedFwdState{
+			S:           s,
+			PA:          pa,
+			ExpertIn:    expertIn,
+			HidPre:      hidPre,
+			HidAct:      hidAct,
+			CombineFull: full,
+		}
+	}
+	return res
 }

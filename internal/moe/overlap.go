@@ -21,6 +21,14 @@ package moe
 // FFN is row-independent, chunking only re-times row groups without
 // reordering any per-row arithmetic, and every returned row is written to
 // the exact position the blocking pipeline would use.
+//
+// With SaveForBackward, the overlapped pipelines additionally scatter
+// each chunk's intermediates (expert input, pre-activation, post-GeLU
+// activation) into the same full-layout buffers the blocking forward
+// saves — chunk rows of block (src, le) land at the block's expert-major
+// offset plus the chunk's ChunkRange start — so PFTBackward /
+// PaddedBackward consume an identical state regardless of the forward
+// chunk count.
 
 import (
 	"xmoe/internal/kernels"
@@ -52,12 +60,15 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 	// of e's contiguous PFT segment; a chunk part concatenates the
 	// destination rank's experts' chunk rows in expert order. The full
 	// per-expert counts ride with chunk 0 (blocking wire volume), later
-	// chunks are derived by both ends from the same split.
+	// chunks are derived by both ends from the same split. Part slices
+	// for all chunks view one flat backing array so the steady-state
+	// allocation count stays independent of the chunk count.
 	countsFlat := make([]int, p*epr)
 	copy(countsFlat, pft.TokensPerExpert)
+	sendFlat := make([]simrt.Part, chunks*p)
 	dispatchH := make([]*simrt.CommHandle, chunks)
 	for c := 0; c < chunks; c++ {
-		send := make([]simrt.Part, p)
+		send := sendFlat[c*p : (c+1)*p]
 		chunkRows := 0
 		for dst := 0; dst < p; dst++ {
 			rows := 0
@@ -102,14 +113,23 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 	combineH := make([]*simrt.CommHandle, chunks)
 	rowsPerLE := make([]int, epr)
 	// Per-chunk geometry scratch, reused across chunks: chunkLen[src*epr+le]
-	// is the (src, le) sub-block's row count, partPos[src*epr+le] its
-	// offset within src's part (send and receive sides share the layout:
-	// local experts ascending), blockOff[le*p+src] its offset within the
-	// chunk's expert-major buffer. Precomputed prefix sums keep packing
-	// O(p*epr) per chunk, as the blocking path's blockOff table does.
+	// is the (src, le) sub-block's row count, chunkLo its ChunkRange start
+	// within the block, partPos[src*epr+le] its offset within src's part
+	// (send and receive sides share the layout: local experts ascending),
+	// blockOff[le*p+src] its offset within the chunk's expert-major
+	// buffer. Precomputed prefix sums keep packing O(p*epr) per chunk, as
+	// the blocking path's blockOff table does.
 	chunkLen := make([]int, p*epr)
+	chunkLo := make([]int, p*epr)
 	partPos := make([]int, p*epr)
 	blockOff := make([]int, epr*p)
+	backFlat := make([]simrt.Part, chunks*p)
+	// Full-layout saved state (SaveForBackward): blockOffFull mirrors the
+	// blocking pipeline's [le][src] expert-major offsets; the chunk
+	// intermediates are scattered into full-size buffers at those offsets.
+	var blockOffFull [][]int
+	var fullRowsPerLE []int
+	var expertIn, hidPre, hidAct *tensor.Tensor
 	for c := 0; c < chunks; c++ {
 		recv := dispatchH[c].Wait()
 		if c == 0 {
@@ -123,6 +143,25 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 			mem.Alloc("A_dispatch", int64(bExp)*int64(h)*elem)
 			mem.Alloc("A0_interm", int64(bExp)*int64(f)*elem)
 			mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
+			if opts.SaveForBackward {
+				blockOffFull = make([][]int, epr)
+				fullRowsPerLE = make([]int, epr)
+				flat := make([]int, epr*p)
+				off := 0
+				for le := 0; le < epr; le++ {
+					blockOffFull[le] = flat[le*p : (le+1)*p]
+					for src := 0; src < p; src++ {
+						blockOffFull[le][src] = off
+						off += recvCounts[src][le]
+						fullRowsPerLE[le] += recvCounts[src][le]
+					}
+				}
+				if opts.Numeric {
+					expertIn = pool.Get(bExp, h)
+					hidPre = pool.Get(bExp, f)
+					hidAct = pool.Get(bExp, f)
+				}
+			}
 		}
 
 		// Chunk geometry: sub-block lengths, then prefix offsets.
@@ -132,6 +171,7 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 			for src := 0; src < p; src++ {
 				lo, hi := simrt.ChunkRange(recvCounts[src][le], chunks, c)
 				chunkLen[src*epr+le] = hi - lo
+				chunkLo[src*epr+le] = lo
 				rowsPerLE[le] += hi - lo
 			}
 			bc += rowsPerLE[le]
@@ -181,7 +221,17 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 		if opts.Numeric {
 			interm := pool.Get(bc, f)
 			kernels.SequentialGEMMInto(interm, chunkIn, rowsPerLE, params.W1)
+			if opts.SaveForBackward {
+				// Scatter this chunk's intermediates into the blocking
+				// pipeline's full expert-major layout before/after the
+				// activation so the saved state is chunk-count invariant.
+				scatterChunkRows(expertIn.Data, chunkIn.Data, h, epr, p, blockOffFull, blockOff, chunkLen, chunkLo)
+				scatterChunkRows(hidPre.Data, interm.Data, f, epr, p, blockOffFull, blockOff, chunkLen, chunkLo)
+			}
 			tensor.GeLU(interm)
+			if opts.SaveForBackward {
+				scatterChunkRows(hidAct.Data, interm.Data, f, epr, p, blockOffFull, blockOff, chunkLen, chunkLo)
+			}
 			chunkOut = pool.Get(bc, h)
 			kernels.SequentialGEMMInto(chunkOut, interm, rowsPerLE, params.W2)
 			pool.PutAll(chunkIn, interm)
@@ -189,7 +239,7 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 
 		// Reverse reorder to src-major and issue this chunk's combine.
 		r.Compute(StageOthers, comp.MemBound(perfmodel.ClassTriton, 2*int64(bc)*int64(h)*elem))
-		sendBack := make([]simrt.Part, p)
+		sendBack := backFlat[c*p : (c+1)*p]
 		for src := 0; src < p; src++ {
 			rows := 0
 			for le := 0; le < epr; le++ {
@@ -247,7 +297,9 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 	var out *tensor.Tensor
 	if opts.Numeric {
 		out = kernels.ScatterCombine(combineIn, pft.TokenIDs, pft.CombineWeights, s)
-		pool.Put(combineIn)
+		if !opts.SaveForBackward {
+			pool.Put(combineIn)
+		}
 	}
 	mem.Alloc("output", int64(s)*int64(h)*elem)
 
@@ -260,12 +312,45 @@ func pftForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int, pft *PF
 		mem.Free("eri", pft.ERIBytes())
 	}
 
-	return LayerResult{
+	res := LayerResult{
 		Output:       out,
 		PFT:          pft,
 		RoutedTokens: b,
 		RecvTokens:   bExp,
 		Dropped:      pft.Dropped,
+	}
+	if opts.SaveForBackward {
+		res.State = &PFTFwdState{
+			S:          s,
+			PFT:        pft,
+			RecvCounts: recvCounts,
+			BlockOff:   blockOffFull,
+			RowsPerLE:  fullRowsPerLE,
+			ExpertIn:   expertIn,
+			HidPre:     hidPre,
+			HidAct:     hidAct,
+			CombineIn:  combineIn,
+		}
+	}
+	return res
+}
+
+// scatterChunkRows copies the (src, le) sub-blocks of a chunk-contiguous
+// buffer into the blocking pipeline's full expert-major layout: chunk
+// rows of block (src, le) land at the block's full offset plus the
+// chunk's ChunkRange start. width is the row width of both buffers.
+func scatterChunkRows(full, chunk []float32, width, epr, p int,
+	blockOffFull [][]int, blockOff, chunkLen, chunkLo []int) {
+	for le := 0; le < epr; le++ {
+		for src := 0; src < p; src++ {
+			n := chunkLen[src*epr+le]
+			if n == 0 {
+				continue
+			}
+			src0 := blockOff[le*p+src] * width
+			dst0 := (blockOffFull[le][src] + chunkLo[src*epr+le]) * width
+			copy(full[dst0:dst0+n*width], chunk[src0:src0+n*width])
+		}
 	}
 }
 
@@ -294,12 +379,14 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 	// --- Issue every dispatch chunk non-blocking -------------------------
 	// Chunk c covers capacity slots ChunkRange(capTokens, chunks, c) of
 	// every expert buffer; both ends derive the same slot split, so the
-	// even exchange needs no metadata at all.
+	// even exchange needs no metadata at all. Part slices for all chunks
+	// view one flat backing array (constant allocation count in C).
+	sendFlat := make([]simrt.Part, chunks*p)
 	dispatchH := make([]*simrt.CommHandle, chunks)
 	for c := 0; c < chunks; c++ {
 		slo, shi := simrt.ChunkRange(capTokens, chunks, c)
 		cl := shi - slo
-		send := make([]simrt.Part, p)
+		send := sendFlat[c*p : (c+1)*p]
 		for dst := 0; dst < p; dst++ {
 			part := simrt.Part{Bytes: int64(epr) * int64(cl) * int64(h) * elem}
 			if opts.Numeric && cl > 0 {
@@ -322,14 +409,36 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 	mem.Alloc("A0_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
 	mem.Alloc("A1_interm", int64(epr*rowsPerExpert)*int64(f)*elem)
 
+	// Full-layout saved state (SaveForBackward), expert-major padded rows
+	// ((le*P + src)*C + slot), exactly the blocking pipeline's layout.
+	var expertIn, hidPre, hidAct *tensor.Tensor
+	if opts.SaveForBackward && opts.Numeric {
+		expertIn = pool.Get(epr*rowsPerExpert, h)
+		hidPre = pool.Get(epr*rowsPerExpert, f)
+		hidAct = pool.Get(epr*rowsPerExpert, f)
+	}
+
 	// --- Per-chunk padded expert stage ------------------------------------
 	combineH := make([]*simrt.CommHandle, chunks)
+	backFlat := make([]simrt.Part, chunks*p)
 	rows := make([]int, epr)
 	for c := 0; c < chunks; c++ {
 		recv := dispatchH[c].Wait()
 		slo, shi := simrt.ChunkRange(capTokens, chunks, c)
 		cl := shi - slo
 		chunkRows := p * cl
+
+		// saveChunk scatters this chunk's [EPR, P*cl] buffer into the
+		// full [EPR, P*C] layout at slot offset slo.
+		saveChunk := func(full, chunk []float32, width int) {
+			for le := 0; le < epr; le++ {
+				for src := 0; src < p; src++ {
+					src0 := ((le*p + src) * cl) * width
+					dst0 := ((le*p+src)*capTokens + slo) * width
+					copy(full[dst0:dst0+cl*width], chunk[src0:src0+cl*width])
+				}
+			}
+		}
 
 		// Reshape [P, EPR, cl, H] -> [EPR, P*cl, H].
 		r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p*epr*cl)*int64(h)*elem))
@@ -349,7 +458,14 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 			}
 			interm := pool.Get(epr*chunkRows, f)
 			kernels.SequentialGEMMInto(interm, chunkIn, rows, params.W1)
+			if opts.SaveForBackward {
+				saveChunk(expertIn.Data, chunkIn.Data, h)
+				saveChunk(hidPre.Data, interm.Data, f)
+			}
 			tensor.GeLU(interm)
+			if opts.SaveForBackward {
+				saveChunk(hidAct.Data, interm.Data, f)
+			}
 			chunkOut = pool.Get(epr*chunkRows, h)
 			kernels.SequentialGEMMInto(chunkOut, interm, rows, params.W2)
 			pool.PutAll(chunkIn, interm)
@@ -361,7 +477,7 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 
 		// Reverse reshape and issue this chunk's combine.
 		r.Compute(StageOthers, comp.MemBound(kernelClass, 2*int64(p*epr*cl)*int64(h)*elem))
-		sendBack := make([]simrt.Part, p)
+		sendBack := backFlat[c*p : (c+1)*p]
 		for dst := 0; dst < p; dst++ {
 			part := simrt.Part{Bytes: int64(epr) * int64(cl) * int64(h) * elem}
 			if opts.Numeric && cl > 0 {
@@ -412,7 +528,9 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 	var out *tensor.Tensor
 	if opts.Numeric {
 		out = kernels.PaddedCombine(full.Reshape(e, capTokens, h), pa.SlotToken, pa.SlotWeight, capTokens, s)
-		pool.Put(full)
+		if !opts.SaveForBackward {
+			pool.Put(full)
+		}
 	}
 	mem.Alloc("output", int64(s)*int64(h)*elem)
 
@@ -426,10 +544,21 @@ func paddedForwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, s int,
 		mem.Free("A_combine", int64(e)*int64(capTokens)*int64(h)*combElem)
 	}
 
-	return LayerResult{
+	res := LayerResult{
 		Output:       out,
 		RoutedTokens: pa.Occupied,
 		RecvTokens:   epr * rowsPerExpert,
 		Dropped:      pa.Dropped,
 	}
+	if opts.SaveForBackward {
+		res.PaddedState = &PaddedFwdState{
+			S:           s,
+			PA:          pa,
+			ExpertIn:    expertIn,
+			HidPre:      hidPre,
+			HidAct:      hidAct,
+			CombineFull: full,
+		}
+	}
+	return res
 }

@@ -322,7 +322,8 @@ func TestSSMBBackwardMatchesUnshardedGradient(t *testing.T) {
 		}
 		dX := SSMBBackward(r, g, s, cfg.HModel, cfg.BytesPerElem, dOut,
 			func(lo, hi int, dShard *tensor.Tensor) *tensor.Tensor {
-				return moe.PFTBackward(r, g, cfg, states[lo], dShard, params).DX
+				return moe.PFTBackward(r, g, cfg, states[lo], dShard, params,
+					moe.PipelineOpts{Numeric: true}).DX
 			})
 		dFullGrads[r.ID] = dX
 		return nil

@@ -39,8 +39,27 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 
 	// RBD dispatch (stages 0-2 + expert input reconstruction). The
 	// chunked overlap mode splits the inter-node pilot exchanges so they
-	// hide behind the adjacent instantiation/merge compute.
+	// hide behind the adjacent compute AND interleaves the expert GEMMs
+	// with the intra-node S2/C2 exchanges (see overlap.go): pilot-row
+	// GEMMs run while S2 is in flight, the C2 return leaves non-blocking
+	// under the pilot-scaling merge. Output is bit-identical either way.
 	rbdOpts := Opts{Numeric: opts.Numeric, OverlapChunks: opts.OverlapChunks}
+	if rbdOpts.chunks() > 1 {
+		out, bExp := forwardOverlap(r, d, cfg, s, pft, dispIn, params, pilotRNG, rbdOpts)
+		if !opts.RetainActivations {
+			mem.Free("eri", pft.ERIBytes())
+			mem.Free("dispatch_in", int64(b)*int64(h)*elem)
+			mem.Free("A0_interm", int64(bExp)*int64(f)*elem)
+			mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
+		}
+		return moe.LayerResult{
+			Output:       out,
+			PFT:          pft,
+			RoutedTokens: b,
+			RecvTokens:   bExp,
+			Dropped:      pft.Dropped,
+		}
+	}
 	st, expertIn := d.Dispatch(r, pft, dispIn, pilotRNG, rbdOpts)
 
 	// Sequential GEMM experts over the reconstructed uneven segments.

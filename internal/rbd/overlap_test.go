@@ -96,6 +96,51 @@ func TestChunkedRBDOverlapFaster(t *testing.T) {
 	}
 }
 
+// TestExpertGEMMsHideS2C2 pins the overlap structure of the chunked RBD
+// path: the intra-node S2/C2 exchanges run as in-flight spans under the
+// expert GEMMs / merge compute, so the clock charge attributed to them
+// must be strictly below their physical duration (partially or fully
+// hidden), on a configuration with enough expert compute to cover them.
+func TestExpertGEMMsHideS2C2(t *testing.T) {
+	cfg := moe.Config{NumExperts: 64, TopK: 8, HModel: 4096, HFFN: 2048,
+		CapacityFactor: 100, BytesPerElem: 2}
+	const world, s = 16, 1024
+	c := newCluster(world)
+	g := c.WorldGroup()
+	d := NewDispatcher(c, g, cfg)
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(uint64(300 + r.ID))
+		routing := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.3)
+		Forward(r, d, cfg, s, nil, routing, nil, tensor.NewRNG(uint64(r.ID)),
+			moe.PipelineOpts{DropPolicy: moe.DropByCapacityWeight, OverlapChunks: 4})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range ranks {
+		// Both intra-node exchanges must run as in-flight (asynchronous)
+		// spans.
+		for _, stage := range []string{StageS2A2A, StageC2A2A} {
+			if rk.Trace.OverlappedTotal(stage) <= 0 {
+				t.Fatalf("rank %d: %s has no in-flight span — the exchange is not asynchronous", rk.ID, stage)
+			}
+		}
+		// The pilot GEMMs run between the S2 issue and its wait, so part
+		// of S2's duration must be hidden: the clock charge stays
+		// strictly below the physical span. (C2's charge also includes
+		// BSP straggler skew — the wait runs to the slowest member's
+		// finish, as a blocking exchange would — so the strict assertion
+		// only holds for S2, where the preceding S1 waits synchronise
+		// the members.)
+		inFlight := rk.Trace.OverlappedTotal(StageS2A2A)
+		if charged := rk.Trace.Total(StageS2A2A); charged >= inFlight {
+			t.Errorf("rank %d: %s charged %.6fs of %.6fs in flight — nothing hidden behind the pilot GEMMs",
+				rk.ID, StageS2A2A, charged, inFlight)
+		}
+	}
+}
+
 // TestExpectedRedundancyRateMatchesMonteCarlo compares the closed-form
 // redundancy rate against AnalyzeRedundancy on uniform routing, including
 // the non-divisible E/nodes case the formula approximates with a

@@ -184,17 +184,32 @@ type State struct {
 	// Destination side.
 	recvPilotCounts [][]int     // [src][localExpert]
 	recvPilotW      [][]float32 // [src] weights aligned with part rows
+	recvMetas       []s1Meta    // full stage-1 metadata per source
 	pilotPartOff    []int       // absolute offset of each src's pilot part
 	pilotRowsTotal  int
 	pilotRows       *tensor.Tensor // received pilot payload (numeric)
 	s2SentByMember  [][]s2Sent     // [nodeMember][pos] merge targets
 	s2RecvCount     []int          // rows received from each node member
 	s2RecvMeta      [][]replicaMeta
+	// s2Handle is the in-flight non-blocking Stage-2 exchange of the
+	// expert-GEMM-overlap path (nil on the blocking path).
+	s2Handle *simrt.CommHandle
 	// ExpertRowsPerLE[le] lists the origin of each row of local expert
 	// le's input, in buffer order.
 	expertRows [][]rowRef
 	// RowsPerLE is the expert input segmentation for the sequential GEMM.
 	RowsPerLE []int
+	// PilotRowsPerLE / ReplicaRowsPerLE are the split segmentations of
+	// the expert-GEMM-overlap path: pilot rows are available right after
+	// Stage 1 and compute while the Stage-2 replica exchange is in
+	// flight.
+	PilotRowsPerLE   []int
+	ReplicaRowsPerLE []int
+	// pilotAbs[i] is the absolute pilot-buffer row of pilot-input row i
+	// (le-major order); replicaRef[i] locates replica-input row i's
+	// Stage-2 (part, pos) origin.
+	pilotAbs   []int
+	replicaRef []rowRef
 	// node group used for stage 2
 	nodeGroup *simrt.Group
 }
@@ -206,7 +221,118 @@ type State struct {
 // randomized pilot selection (paper: random choice balances the
 // all-to-all). It returns the combine state, the expert-major input buffer
 // (numeric mode), and fills State.RowsPerLE.
+//
+// Dispatch is the blocking-expert-compute composition; the overlapped
+// Forward path drives the finer-grained DispatchPilots / IssueS2 /
+// PilotInput / FinishS2 stages directly so the expert GEMMs interleave
+// with the Stage-2 exchange.
 func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor, rng *tensor.RNG, opts Opts) (*State, *tensor.Tensor) {
+	h := d.Cfg.HModel
+	elem := int64(d.Cfg.BytesPerElem)
+	p := d.EP.Size()
+	me := d.EP.IndexOf(r.ID)
+	comp := r.C.Comp
+	mem := &r.Dev().Mem
+
+	st := d.DispatchPilots(r, pft, dispIn, rng, opts)
+	nodeGroup := st.nodeGroup
+
+	// --- Replica reconstruction + Stage 2 intra-node exchange --------------
+	s2Send := d.stageReplicas(r, st, opts)
+	s2Recv := r.AlltoAllV(nodeGroup, StageS2A2A, s2Send)
+
+	st.s2RecvCount = make([]int, nodeGroup.Size())
+	st.s2RecvMeta = make([][]replicaMeta, nodeGroup.Size())
+	nReplicaRows := 0
+	for src, part := range s2Recv {
+		m := part.Meta.([]replicaMeta)
+		st.s2RecvMeta[src] = m
+		st.s2RecvCount[src] = len(m)
+		nReplicaRows += len(m)
+	}
+	mem.Alloc("rbd_s2_recv", int64(nReplicaRows)*int64(h)*elem)
+
+	// --- Expert input reconstruction ---------------------------------------
+	// Merge pilots destined to my experts with received replicas, grouped
+	// per local expert.
+	st.expertRows = make([][]rowRef, d.EPR)
+	st.RowsPerLE = make([]int, d.EPR)
+	rowsOff := make([]int, d.EPR+1)
+	for src := 0; src < p; src++ {
+		for le := 0; le < d.EPR; le++ {
+			rowsOff[le+1] += st.recvPilotCounts[src][le]
+		}
+	}
+	for src := range s2Recv {
+		for _, rm := range st.s2RecvMeta[src] {
+			le := rm.expert - me*d.EPR
+			if le < 0 || le >= d.EPR {
+				panic(fmt.Sprintf("rbd: stage-2 replica for expert %d landed on wrong rank", rm.expert))
+			}
+			rowsOff[le+1]++
+		}
+	}
+	totalRows := 0
+	for le := 0; le < d.EPR; le++ {
+		rowsOff[le+1] += rowsOff[le]
+		st.RowsPerLE[le] = rowsOff[le+1] - rowsOff[le]
+		totalRows += st.RowsPerLE[le]
+	}
+	rowsFlat := make([]rowRef, totalRows)
+	for le := range st.expertRows {
+		st.expertRows[le] = rowsFlat[rowsOff[le]:rowsOff[le]]
+	}
+	for src := 0; src < p; src++ {
+		pos := 0
+		for le := 0; le < d.EPR; le++ {
+			c := st.recvPilotCounts[src][le]
+			for i := 0; i < c; i++ {
+				st.expertRows[le] = append(st.expertRows[le],
+					rowRef{pilot: true, abs: st.pilotPartOff[src] + pos})
+				pos++
+			}
+		}
+	}
+	for src := range s2Recv {
+		for pos, rm := range st.s2RecvMeta[src] {
+			le := rm.expert - me*d.EPR
+			st.expertRows[le] = append(st.expertRows[le], rowRef{part: src, pos: pos})
+		}
+	}
+	r.Compute(StageReconstruct, comp.MemBound(perfmodel.ClassTriton, 2*int64(totalRows)*int64(h)*elem))
+	mem.Alloc("rbd_expert_in", int64(totalRows)*int64(h)*elem)
+
+	var expertIn *tensor.Tensor
+	if opts.Numeric {
+		expertIn = r.Pool().Get(totalRows, h)
+		row := 0
+		for le := range st.expertRows {
+			for _, ref := range st.expertRows[le] {
+				var src []float32
+				if ref.pilot {
+					src = st.pilotRows.Row(ref.abs)
+				} else {
+					src = s2Recv[ref.part].Data[ref.pos*h : (ref.pos+1)*h]
+				}
+				copy(expertIn.Row(row), src)
+				row++
+			}
+		}
+		// pilotRows is fully consumed (stage-2 staging and the rows just
+		// copied above); return it to the rank arena.
+		r.Pool().Put(st.pilotRows)
+		st.pilotRows = nil
+	}
+	return st, expertIn
+}
+
+// DispatchPilots runs RBD stages 0-1 for rank r: pilot selection, pilot
+// buffer instantiation, and the inter-node pilot exchange (chunked
+// non-blocking when opts.OverlapChunks > 1). The returned state holds the
+// received pilot payload and full Stage-1 metadata; the caller continues
+// with either the blocking Stage 2 (Dispatch) or the overlapped
+// IssueS2/PilotInput/FinishS2 sequence.
+func (d *Dispatcher) DispatchPilots(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor, rng *tensor.RNG, opts Opts) *State {
 	h := d.Cfg.HModel
 	elem := int64(d.Cfg.BytesPerElem)
 	p := d.EP.Size()
@@ -393,12 +519,12 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	st.recvPilotCounts = make([][]int, p)
 	st.recvPilotW = make([][]float32, p)
 	st.pilotPartOff = make([]int, p)
-	recvMetas := make([]s1Meta, p)
+	st.recvMetas = make([]s1Meta, p)
 	extractMetas := func(recv []simrt.Part) {
 		total := 0
 		for src, part := range recv {
 			m := part.Meta.(s1Meta)
-			recvMetas[src] = m
+			st.recvMetas[src] = m
 			st.recvPilotCounts[src] = m.counts
 			st.recvPilotW[src] = m.weights
 			st.pilotPartOff[src] = total
@@ -438,7 +564,29 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 		}
 	}
 
-	// --- Replica reconstruction + Stage 2 intra-node exchange --------------
+	// Pilot segmentation per local expert: the overlap path runs the
+	// pilot-row GEMMs from it while the Stage-2 exchange is in flight.
+	st.PilotRowsPerLE = make([]int, d.EPR)
+	for src := 0; src < p; src++ {
+		for le := 0; le < d.EPR; le++ {
+			st.PilotRowsPerLE[le] += st.recvPilotCounts[src][le]
+		}
+	}
+	return st
+}
+
+// stageReplicas groups the incoming replica metadata by destination node
+// member, instantiates the Stage-2 send buffers from the received pilot
+// payload (charging the instantiation pass), and returns the parts.
+// Shared by the blocking Dispatch and the overlapped IssueS2.
+func (d *Dispatcher) stageReplicas(r *simrt.Rank, st *State, opts Opts) []simrt.Part {
+	h := d.Cfg.HModel
+	elem := int64(d.Cfg.BytesPerElem)
+	p := d.EP.Size()
+	myNode := d.nodeOfMember[d.EP.IndexOf(r.ID)]
+	comp := r.C.Comp
+	mem := &r.Dev().Mem
+
 	// Group incoming replicas by their destination member within this
 	// node, ordered by ascending expert id (the paper's contiguous,
 	// destination-ordered local exchange buffer).
@@ -451,7 +599,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 	nReplicasIn := 0
 	stagedCount := make([]int, len(nodeMembers)+1)
 	for src := 0; src < p; src++ {
-		for _, rm := range recvMetas[src].replicas {
+		for _, rm := range st.recvMetas[src].replicas {
 			dm := d.memberOfExpert(rm.expert)
 			if d.nodeOfMember[dm] != myNode {
 				panic(fmt.Sprintf("rbd: replica for expert %d routed off-node", rm.expert))
@@ -467,7 +615,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 		staged[slot] = stagedFlat[stagedCount[slot]:stagedCount[slot]]
 	}
 	for src := 0; src < p; src++ {
-		for _, rm := range recvMetas[src].replicas {
+		for _, rm := range st.recvMetas[src].replicas {
 			abs := st.pilotPartOff[src] + rm.pilotRel // re-encode to absolute
 			slot := d.slotOfMember[d.memberOfExpert(rm.expert)]
 			staged[slot] = append(staged[slot], stagedReplica{pilotAbs: abs, meta: rm})
@@ -506,91 +654,7 @@ func (d *Dispatcher) Dispatch(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.Tensor
 			Bytes: int64(len(rows))*int64(h)*elem + int64(len(rows))*16,
 		}
 	}
-	s2Recv := r.AlltoAllV(nodeGroup, StageS2A2A, s2Send)
-
-	st.s2RecvCount = make([]int, len(nodeMembers))
-	st.s2RecvMeta = make([][]replicaMeta, len(nodeMembers))
-	nReplicaRows := 0
-	for src, part := range s2Recv {
-		m := part.Meta.([]replicaMeta)
-		st.s2RecvMeta[src] = m
-		st.s2RecvCount[src] = len(m)
-		nReplicaRows += len(m)
-	}
-	mem.Alloc("rbd_s2_recv", int64(nReplicaRows)*int64(h)*elem)
-
-	// --- Expert input reconstruction ---------------------------------------
-	// Merge pilots destined to my experts with received replicas, grouped
-	// per local expert.
-	st.expertRows = make([][]rowRef, d.EPR)
-	st.RowsPerLE = make([]int, d.EPR)
-	rowsOff := make([]int, d.EPR+1)
-	for src := 0; src < p; src++ {
-		for le := 0; le < d.EPR; le++ {
-			rowsOff[le+1] += st.recvPilotCounts[src][le]
-		}
-	}
-	for src := range s2Recv {
-		for _, rm := range st.s2RecvMeta[src] {
-			le := rm.expert - me*d.EPR
-			if le < 0 || le >= d.EPR {
-				panic(fmt.Sprintf("rbd: stage-2 replica for expert %d landed on wrong rank", rm.expert))
-			}
-			rowsOff[le+1]++
-		}
-	}
-	totalRows := 0
-	for le := 0; le < d.EPR; le++ {
-		rowsOff[le+1] += rowsOff[le]
-		st.RowsPerLE[le] = rowsOff[le+1] - rowsOff[le]
-		totalRows += st.RowsPerLE[le]
-	}
-	rowsFlat := make([]rowRef, totalRows)
-	for le := range st.expertRows {
-		st.expertRows[le] = rowsFlat[rowsOff[le]:rowsOff[le]]
-	}
-	for src := 0; src < p; src++ {
-		pos := 0
-		for le := 0; le < d.EPR; le++ {
-			c := st.recvPilotCounts[src][le]
-			for i := 0; i < c; i++ {
-				st.expertRows[le] = append(st.expertRows[le],
-					rowRef{pilot: true, abs: st.pilotPartOff[src] + pos})
-				pos++
-			}
-		}
-	}
-	for src := range s2Recv {
-		for pos, rm := range st.s2RecvMeta[src] {
-			le := rm.expert - me*d.EPR
-			st.expertRows[le] = append(st.expertRows[le], rowRef{part: src, pos: pos})
-		}
-	}
-	r.Compute(StageReconstruct, comp.MemBound(perfmodel.ClassTriton, 2*int64(totalRows)*int64(h)*elem))
-	mem.Alloc("rbd_expert_in", int64(totalRows)*int64(h)*elem)
-
-	var expertIn *tensor.Tensor
-	if opts.Numeric {
-		expertIn = r.Pool().Get(totalRows, h)
-		row := 0
-		for le := range st.expertRows {
-			for _, ref := range st.expertRows[le] {
-				var src []float32
-				if ref.pilot {
-					src = st.pilotRows.Row(ref.abs)
-				} else {
-					src = s2Recv[ref.part].Data[ref.pos*h : (ref.pos+1)*h]
-				}
-				copy(expertIn.Row(row), src)
-				row++
-			}
-		}
-		// pilotRows is fully consumed (stage-2 staging and the rows just
-		// copied above); return it to the rank arena.
-		r.Pool().Put(st.pilotRows)
-		st.pilotRows = nil
-	}
-	return st, expertIn
+	return s2Send
 }
 
 // Combine reverses RBD for rank r: replica expert-outputs return to the

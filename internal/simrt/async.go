@@ -41,7 +41,11 @@ type a2avAsyncResult struct {
 
 // CommHandle tracks one in-flight non-blocking collective for one rank.
 // Wait must be called by the issuing rank (handles are not shareable
-// across ranks) and is idempotent.
+// across ranks) and is idempotent. Every issued handle must eventually be
+// waited: a handle dropped without Wait means the program consumed the
+// collective's payload without synchronising (or never consumed it at
+// all), so Cluster.Run reports never-waited handles as rank errors when
+// the SPMD body returns.
 type CommHandle struct {
 	r      *Rank
 	name   string
@@ -123,13 +127,28 @@ func (r *Rank) AlltoAllVAsync(g *Group, name string, send []Part) *CommHandle {
 			return a2avAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: recv}
 		}).(a2avAsyncResult)
 	r.commBusyUntil = res.end
-	return &CommHandle{
+	h := &CommHandle{
 		r:     r,
 		name:  name,
 		start: res.start,
 		end:   res.end,
 		recv:  res.recv[g.IndexOf(r.ID)],
 	}
+	r.issuedHandles = append(r.issuedHandles, h)
+	return h
+}
+
+// leakedHandles returns the names of async collectives this rank issued
+// but never waited, in issue order. Called by the Run harness after the
+// SPMD body returns.
+func (r *Rank) leakedHandles() []string {
+	var leaked []string
+	for _, h := range r.issuedHandles {
+		if !h.waited {
+			leaked = append(leaked, h.name)
+		}
+	}
+	return leaked
 }
 
 // ChunkRange returns the half-open row range [lo, hi) of chunk c when n

@@ -165,6 +165,10 @@ type Rank struct {
 	// goroutine touches it directly; peers observe it through the value
 	// deposited at each async rendezvous.
 	commBusyUntil float64
+	// issuedHandles records every async collective handle this rank
+	// issued; Run checks at teardown that each was waited (a dropped
+	// handle is a lost synchronisation and almost always a bug).
+	issuedHandles []*CommHandle
 }
 
 // Dev returns this rank's device.
@@ -207,7 +211,9 @@ func (r *Rank) Kernel(name string, class perfmodel.KernelClass, bytes int64) {
 // all to finish. It returns the combined error of all failing ranks. Rank
 // panics are converted to errors so a failing SPMD body cannot deadlock
 // the harness (panics in collectives may still leave peers blocked, so
-// tests should treat any error as fatal).
+// tests should treat any error as fatal). A rank that returns with
+// issued-but-never-waited async collective handles is reported as an
+// error too: a dropped CommHandle is a lost synchronisation.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
 	errs := make([]error, c.NumRanks)
 	var wg sync.WaitGroup
@@ -222,6 +228,12 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 			}()
 			rank := &Rank{ID: id, C: c, Trace: &trace.Recorder{}}
 			errs[id] = fn(rank)
+			if errs[id] == nil {
+				if leaked := rank.leakedHandles(); len(leaked) > 0 {
+					errs[id] = fmt.Errorf("rank %d finished with %d unwaited async collective handle(s): %v",
+						id, len(leaked), leaked)
+				}
+			}
 		}(i)
 	}
 	wg.Wait()

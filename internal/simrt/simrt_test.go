@@ -3,6 +3,7 @@ package simrt
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -449,6 +450,116 @@ func TestExchangeCountsSteadyStateAllocs(t *testing.T) {
 	perCall := (loaded - base) / (world * iters)
 	if perCall > 5 {
 		t.Fatalf("ExchangeCounts allocates %.2f allocs per rank-call in steady state, want <= 5", perCall)
+	}
+}
+
+// TestAsyncDoubleWaitIsIdempotent pins the documented Wait contract: the
+// second Wait charges nothing, records nothing, and returns the same
+// received parts.
+func TestAsyncDoubleWaitIsIdempotent(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 1 << 20
+	err := c.Run(func(r *Rank) error {
+		send := make([]Part, 4)
+		for j := range send {
+			send[j] = Part{Data: []float32{float32(10*r.ID + j)}, Bytes: bytes}
+		}
+		h := r.AlltoAllVAsync(g, "a2a", send)
+		first := h.Wait()
+		clock := r.Clock
+		charged := r.Trace.Total("a2a")
+		overlapped := r.Trace.OverlappedTotal("a2a")
+		second := h.Wait()
+		if r.Clock != clock {
+			return fmt.Errorf("second Wait charged %.9fs", r.Clock-clock)
+		}
+		if got := r.Trace.Total("a2a"); got != charged {
+			return fmt.Errorf("second Wait recorded an extra span: %.9f vs %.9f", got, charged)
+		}
+		if got := r.Trace.OverlappedTotal("a2a"); got != overlapped {
+			return fmt.Errorf("second Wait recorded an extra overlapped span")
+		}
+		if len(first) != len(second) {
+			return fmt.Errorf("waits returned different part counts")
+		}
+		for i := range first {
+			if first[i].Data[0] != second[i].Data[0] {
+				return fmt.Errorf("waits returned different payloads at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReportsLeakedHandles pins the teardown check: a rank that issues
+// an async collective and returns without waiting it must surface an
+// error naming the dropped collective instead of silently losing the
+// synchronisation.
+func TestRunReportsLeakedHandles(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		h := r.AlltoAllVAsync(g, "leaky_a2a", evenParts(4, 1<<16))
+		if r.ID != 0 {
+			h.Wait() // only rank 0 leaks
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("leaked handle must surface as a Run error")
+	}
+	if !strings.Contains(err.Error(), "leaky_a2a") || !strings.Contains(err.Error(), "rank 0") {
+		t.Fatalf("leak error should name the collective and rank, got: %v", err)
+	}
+}
+
+// TestRunLeakCheckSkippedOnError verifies the leak check does not mask a
+// real rank error: when the body fails, the original error is reported.
+func TestRunLeakCheckSkippedOnError(t *testing.T) {
+	c := testCluster(2)
+	g := c.WorldGroup()
+	sentinel := errors.New("body failed")
+	err := c.Run(func(r *Rank) error {
+		r.AlltoAllVAsync(g, "a2a", evenParts(2, 1<<10)).Wait()
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("body error lost: %v", err)
+	}
+}
+
+// TestAsyncOutOfOrderWaits pins interleaved async collectives on one
+// rank's comm stream: waiting the later handle first charges through both
+// transfers (the stream is in-order), after which the earlier handle's
+// Wait is free.
+func TestAsyncOutOfOrderWaits(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 4 << 20
+	cost := c.Net.AlltoAllV(g.Ranks(), evenMatrix(4, bytes)).Seconds
+	err := c.Run(func(r *Rank) error {
+		h1 := r.AlltoAllVAsync(g, "a2a_first", evenParts(4, bytes))
+		h2 := r.AlltoAllVAsync(g, "a2a_second", evenParts(4, bytes))
+		h2.Wait() // later collective first: charges both serialised legs
+		if got, want := r.Clock, 2*cost; got != want {
+			return fmt.Errorf("waiting the later handle charged %.9f, want %.9f", got, want)
+		}
+		if !h1.Done() {
+			return fmt.Errorf("earlier collective must be complete once the later one is")
+		}
+		before := r.Clock
+		h1.Wait()
+		if r.Clock != before {
+			return fmt.Errorf("earlier handle's wait charged %.9f after stream drained", r.Clock-before)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -91,6 +91,23 @@ func (r *Recorder) OverlappedTotal(name string) float64 {
 	return t
 }
 
+// ChargedTotal returns the summed duration of every clock-charged
+// (non-overlapped) span: by construction the rank's wall-clock time when
+// all clock advances were recorded, which the overlapped-trainer tests
+// use to assert that per-stage breakdowns still sum to wall-clock even
+// with in-flight collectives present.
+func (r *Recorder) ChargedTotal() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t float64
+	for _, e := range r.events {
+		if !e.Overlap {
+			t += e.Dur
+		}
+	}
+	return t
+}
+
 // Breakdown returns the summed duration per event name over clock-charged
 // spans only, so the values add up to the rank's wall-clock time even when
 // overlapped collectives are present.
