@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full bench bench-figs bench-json bench-save ci
+.PHONY: all build vet test race race-fast race-full chaos-fast bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -37,10 +37,18 @@ race:
 race-fast:
 	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/netsim \
 		./internal/trace ./internal/moe ./internal/kernels ./internal/rbd \
-		./internal/collective ./internal/train
+		./internal/collective ./internal/train ./internal/fault
 
 # Kept as an alias for the historical target name.
 race-full: race
+
+# Chaos pass: the seeded fault-injection suite under the race detector —
+# rank crashes mid-collective, stragglers, flaky retries, degraded links,
+# checkpoint rollback and elastic recovery. Every schedule is
+# deterministic (fault.Plan seeds), so failures reproduce exactly.
+chaos-fast:
+	$(GO) test -race -run 'Crash|Fault|Inject|Straggler|Flaky|Desync|ReducerPanic|Checkpoint|Gone|Derate' \
+		./internal/simrt ./internal/fault ./internal/netsim ./internal/train
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/tensor \
@@ -58,12 +66,13 @@ bench-json:
 # the acceptance configuration) for the simulated speedups.
 bench-save:
 	$(GO) run ./cmd/xmoe-bench -quick -json -experiment fig10a,fig10b,fig11,fig12
-	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd
+	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd,abl-faults
 	@echo "BENCH_results.json updated; commit it with this PR"
 
-# Quick CI: vet + build + race tests on the fast packages + unit tests of
-# the remaining packages + a quick microbenchmark smoke run.
-ci: vet build race-fast
+# Quick CI: vet + build + race tests on the fast packages + the chaos
+# suite + unit tests of the remaining packages + a quick microbenchmark
+# smoke run.
+ci: vet build race-fast chaos-fast
 	$(GO) test ./internal/... .
 	$(GO) test -run=NONE -bench='BenchmarkPFTLayerForwardBackward|BenchmarkMoEFFNForwardBackward' \
 		-benchmem -benchtime=10x ./internal/moe ./internal/train

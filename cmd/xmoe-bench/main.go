@@ -53,6 +53,7 @@ var experiments = map[string]func(w io.Writer, opts bench.Options){
 	"abl-rbd-ep":      func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
 	"abl-overlap":     func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
 	"abl-overlap-bwd": func(w io.Writer, o bench.Options) { bench.AblationOverlapBackward(w, o) },
+	"abl-faults":      func(w io.Writer, o bench.Options) { bench.AblationFaults(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
@@ -60,6 +61,7 @@ var order = []string{
 	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
 	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap", "abl-overlap-bwd",
+	"abl-faults",
 }
 
 // jsonRecord is one experiment's machine-readable result.

@@ -18,11 +18,78 @@ import (
 	"sort"
 
 	"xmoe/internal/bench"
+	"xmoe/internal/fault"
 	"xmoe/internal/model"
 	"xmoe/internal/moe"
 	"xmoe/internal/topology"
+	"xmoe/internal/trace"
 	"xmoe/internal/train"
 )
+
+// runDistFT executes the fault-tolerant distributed run: train under a
+// deterministic fault plan (explicit -faults spec and/or Poisson crashes
+// drawn for -mtbf), checkpointing every -ckpt-every steps, recovering
+// from crashes by rollback + elastic shrink, and reporting goodput.
+func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
+	faults string, mtbf float64, ckptEvery int) {
+
+	sh := model.Small()
+	cfg := train.DistConfig{
+		MoE: moe.Config{
+			NumExperts: sh.NumExperts, TopK: sh.TopK,
+			HModel: 96, HFFN: 48,
+			CapacityFactor: 1.25, BytesPerElem: 2,
+		},
+		World: world, Tokens: tokens, LR: 1e-2, Seed: seed,
+		Transport: transport,
+		Opts:      moe.PipelineOpts{OverlapChunks: overlap},
+	}
+	if err := cfg.Check(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := fault.ParsePlan(faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if mtbf > 0 {
+		// Crash arrivals over a horizon of ~20 MTBFs; arrivals past the
+		// run's end simply never fire.
+		poisson := fault.PlanCrashes(seed, world, 20*mtbf, mtbf)
+		plan.Events = append(plan.Events, poisson.Events...)
+		fmt.Printf("drew %d Poisson crash arrivals (MTBF %gs)\n", len(poisson.Events), mtbf)
+	}
+	tr, err := train.NewDistTrainer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rec := &trace.Recorder{}
+	fmt.Printf("fault-tolerant %s trainer: EP=%d, %d tokens/rank, %d steps, ckpt every %d\n",
+		transport, world, tokens, iters, ckptEvery)
+	if plan.String() != "" {
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	st, err := tr.RunFaultTolerant(train.FTOptions{
+		Steps: iters, CkptEvery: ckptEvery, Plan: plan, Rec: rec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted %d useful steps: %d recoveries, %d replayed, world %d -> %d\n",
+		st.Steps, st.Recoveries, st.ReplayedSteps, world, st.FinalWorld)
+	fmt.Printf("final loss %.6f\n", st.FinalLoss)
+	fmt.Printf("goodput %.3f: useful %.3fms + ckpt %.3fms + lost %.3fms = wall %.3fms\n",
+		st.Goodput, st.UsefulTime*1e3, st.CkptTime*1e3, st.LostTime*1e3, st.WallClock*1e3)
+	if marks := rec.Marks(); len(marks) > 0 {
+		fmt.Println("\nevent timeline:")
+		for _, e := range marks {
+			fmt.Printf("  %10.3fms  %s\n", e.Start*1e3, e.Name)
+		}
+	}
+}
 
 // runDist executes the distributed-trainer comparison.
 func runDist(transport string, world, tokens, overlap, iters int, seed uint64) {
@@ -123,9 +190,17 @@ func main() {
 	tokens := flag.Int("tokens", 128, "distributed mode: tokens per rank per step")
 	overlap := flag.Int("overlap", 4, "distributed mode: comm/compute overlap chunk count")
 	distIters := flag.Int("dist-iters", 8, "distributed mode: training steps")
+	faults := flag.String("faults", "", "distributed mode: deterministic fault plan, e.g. 'crash:r1@s4,straggler:r0@s0:x2' (implies fault-tolerant run)")
+	mtbf := flag.Float64("mtbf", 0, "distributed mode: draw Poisson crash arrivals with this mean-time-between-failures in simulated seconds (implies fault-tolerant run)")
+	ckptEvery := flag.Int("ckpt-every", 5, "fault-tolerant mode: checkpoint every N steps")
 	flag.Parse()
 
 	if *dist {
+		if *faults != "" || *mtbf > 0 {
+			runDistFT(*transport, *world, *tokens, *overlap, *distIters, *seed,
+				*faults, *mtbf, *ckptEvery)
+			return
+		}
 		runDist(*transport, *world, *tokens, *overlap, *distIters, *seed)
 		return
 	}

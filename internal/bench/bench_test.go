@@ -343,3 +343,65 @@ func TestAblationRBDByEPSavingShrinks(t *testing.T) {
 		t.Fatalf("EP=16 saving %.2f too small (redundancy is 75%%)", res.Saving[0])
 	}
 }
+
+// TestAblationFaultsShape is the acceptance gate of the fault-tolerance
+// ablation: goodput must not improve as failures get more frequent, the
+// checkpoint-interval sweep must peak away from both extremes (near the
+// Young/Daly optimum), straggler slowdown must grow with the straggler's
+// scale while staying at or below it (comm is unaffected), and the
+// numeric trainer must come back from a real crash with an elastic
+// shrink and all useful steps completed.
+func TestAblationFaultsShape(t *testing.T) {
+	res := AblationFaults(io.Discard, quickOpts())
+	if len(res.StepSec) != 3 {
+		t.Fatalf("expected 3 transports, got %d", len(res.StepSec))
+	}
+	for ti, tr := range res.Transports {
+		g := res.Goodput[ti]
+		if g[0] >= g[len(g)-1] {
+			t.Errorf("%s: goodput at MTBF=%gx (%v) not below MTBF=%gx (%v)",
+				tr, res.MTBFxStep[0], g[0], res.MTBFxStep[len(g)-1], g[len(g)-1])
+		}
+		for _, v := range g {
+			if v <= 0 || v > 1 {
+				t.Errorf("%s: goodput %v outside (0, 1]", tr, v)
+			}
+		}
+	}
+	// The interval sweep's best point must beat both extremes and sit
+	// within a factor of 4 of the Young/Daly optimum.
+	best, bestIv := 0.0, 0
+	for i, g := range res.CkptGoodput {
+		if g > best {
+			best, bestIv = g, res.CkptSteps[i]
+		}
+	}
+	if best <= res.CkptGoodput[0] || best <= res.CkptGoodput[len(res.CkptGoodput)-1] {
+		t.Errorf("interval sweep should peak away from the extremes: %v", res.CkptGoodput)
+	}
+	if r := float64(bestIv) / res.YoungDalySteps; r < 0.25 || r > 4 {
+		t.Errorf("best interval %d steps is far from Young/Daly optimum %.1f", bestIv, res.YoungDalySteps)
+	}
+	for ti, tr := range res.Transports {
+		prev := 0.0
+		for i, sc := range res.StragglerScale {
+			slow := res.StragglerSlowdown[ti][i]
+			if slow < prev-1e-9 {
+				t.Errorf("%s: slowdown not monotone in straggler scale: %v", tr, res.StragglerSlowdown[ti])
+			}
+			if slow > sc*(1+1e-9) {
+				t.Errorf("%s x%g: slowdown %.3f exceeds the compute scale itself", tr, sc, slow)
+			}
+			prev = slow
+		}
+		if last := res.StragglerSlowdown[ti][len(res.StragglerScale)-1]; last <= 1 {
+			t.Errorf("%s: a 4x straggler must slow the step (got %.3fx)", tr, last)
+		}
+	}
+	if res.FT.Recoveries != 1 || res.FT.FinalWorld >= 4 {
+		t.Errorf("numeric trainer should have recovered once with a shrink: %+v", res.FT)
+	}
+	if res.FT.Goodput <= 0 || res.FT.Goodput >= 1 {
+		t.Errorf("numeric trainer goodput %v outside (0, 1)", res.FT.Goodput)
+	}
+}

@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"xmoe/internal/simrt"
+	"xmoe/internal/topology"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "crash:r2@s3,crash:r0@t1.5,straggler:r1@s0:x2,flaky:r3@s1:t0.01,link:inter@s2:x4," +
+		"straggler:r2@s1:x1.5:n3,flaky:r0@s2:t0.02:n2:b3,link:rack@s0:x8:n2"
+	plan, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(plan.Events))
+	}
+	if got := plan.String(); got != spec {
+		t.Fatalf("round-trip mismatch:\n got %q\nwant %q", got, spec)
+	}
+	e := plan.Events[1]
+	if e.Kind != Crash || e.Step != -1 || e.AtClock != 1.5 {
+		t.Fatalf("clock crash parsed wrong: %+v", e)
+	}
+	if s := plan.Events[2]; s.Kind != Straggler || s.Scale != 2 || s.ForSteps != 0 {
+		t.Fatalf("straggler parsed wrong: %+v (persistent window expected)", s)
+	}
+	if f := plan.Events[3]; f.Kind != Flaky || f.Retries != 1 || f.Backoff != 2 {
+		t.Fatalf("flaky defaults wrong: %+v", f)
+	}
+	if l := plan.Events[4]; l.Kind != Link || l.Class != topology.LinkInterNode || l.ForSteps != 1 {
+		t.Fatalf("link parsed wrong: %+v", l)
+	}
+	if p, err := ParsePlan("  "); err != nil || len(p.Events) != 0 {
+		t.Fatalf("blank spec must parse to empty plan, got %v / %v", p, err)
+	}
+}
+
+func TestParsePlanRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"crash",                    // no target
+		"crash:2@s1",               // rank missing r prefix
+		"crash:r-1@s1",             // negative rank
+		"crash:r0@x5",              // bad when
+		"crash:r0@s1:x2",           // crash takes no options
+		"straggler:r0@s1",          // missing scale
+		"straggler:r0@t1.5:x2",     // @t only for crash
+		"straggler:r0@s1:x0",       // non-positive scale
+		"flaky:r0@s1",              // missing timeout
+		"flaky:r0@s1:t0",           // non-positive timeout
+		"link:fast@s1:x2",          // unknown class
+		"link:inter@s1",            // missing derate
+		"link:inter@s1:x1",         // derate must exceed 1
+		"warp:r0@s1",               // unknown kind
+		"straggler:r0@s1:x2:q3",    // unknown option
+		"crash:r0@s1,,crash:r1@s2", // empty event
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPlanCrashesDeterministicAndPoisson(t *testing.T) {
+	a := PlanCrashes(9, 8, 1000, 50)
+	b := PlanCrashes(9, 8, 1000, 50)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give identical crash schedules")
+	}
+	c := PlanCrashes(10, 8, 1000, 50)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should give different schedules")
+	}
+	// ~horizon/mtbf arrivals in expectation; allow a wide band.
+	if n := len(a.Events); n < 5 || n > 60 {
+		t.Fatalf("got %d crashes over 20 expected MTBFs", n)
+	}
+	times := a.CrashTimes()
+	if len(times) != len(a.Events) {
+		t.Fatalf("CrashTimes lost events: %d vs %d", len(times), len(a.Events))
+	}
+	for i, ts := range times {
+		if ts <= 0 || ts >= 1000 {
+			t.Fatalf("crash time %v outside horizon", ts)
+		}
+		if i > 0 && ts < times[i-1] {
+			t.Fatal("CrashTimes must be sorted")
+		}
+	}
+	for _, e := range a.Events {
+		if e.Rank < 0 || e.Rank >= 8 {
+			t.Fatalf("victim %d outside world", e.Rank)
+		}
+	}
+	if p := PlanCrashes(9, 8, 1000, 0); len(p.Events) != 0 {
+		t.Fatal("mtbf<=0 must plan no crashes")
+	}
+}
+
+func TestFlakyDelayBackoffSum(t *testing.T) {
+	e := Event{Kind: Flaky, Timeout: 0.01, Retries: 3, Backoff: 2}
+	if got, want := e.Delay(), 0.01*(1+2+4); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Delay = %v, want %v", got, want)
+	}
+}
+
+func TestYoungDalyAndGoodput(t *testing.T) {
+	if got, want := YoungDaly(2, 100), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("YoungDaly(2,100) = %v, want %v", got, want)
+	}
+	if YoungDaly(0, 100) != 0 || YoungDaly(1, 0) != 0 {
+		t.Fatal("degenerate Young/Daly inputs must return 0")
+	}
+	if got := Goodput(80, 100); got != 0.8 {
+		t.Fatalf("Goodput = %v", got)
+	}
+	if Goodput(1, 0) != 0 {
+		t.Fatal("zero wall-clock goodput must be 0")
+	}
+}
+
+// TestInjectorArmWindows pins the per-step arming: stragglers and flaky
+// delays apply only inside their windows, step-crashes only at their
+// step, and clock-crashes rebase into the step's local time frame.
+func TestInjectorArmWindows(t *testing.T) {
+	plan, err := ParsePlan("straggler:r1@s2:x3:n2,flaky:r0@s1:t0.5,crash:r2@s4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan, 4)
+
+	inj.Arm(1, 0)
+	if inj.ComputeScale(1) != 1 {
+		t.Fatal("straggler must not fire before its window")
+	}
+	if d := inj.CollectiveDelay(0, "a2a", 0); d != 0.5 {
+		t.Fatalf("flaky delay = %v, want 0.5", d)
+	}
+	if d := inj.CollectiveDelay(0, "a2a", 0); d != 0 {
+		t.Fatal("flaky delay must be consumed once per step")
+	}
+	if inj.CrashError(2, 0) != nil {
+		t.Fatal("crash must wait for its step")
+	}
+
+	inj.Arm(2, 10)
+	if inj.ComputeScale(1) != 3 {
+		t.Fatal("straggler window must be active at step 2")
+	}
+	inj.Arm(4, 20)
+	if inj.ComputeScale(1) != 1 {
+		t.Fatal("straggler window must have closed by step 4")
+	}
+	err4 := inj.CrashError(2, 0)
+	if !errors.Is(err4, simrt.ErrRankCrashed) {
+		t.Fatalf("step-4 crash must fire: %v", err4)
+	}
+	if got := inj.CrashedRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("CrashedRanks = %v", got)
+	}
+	// Once crashed, it stays dead but never re-arms.
+	inj.Arm(5, 30)
+	if inj.CrashError(2, 0) != nil {
+		t.Fatal("a consumed crash must not re-arm")
+	}
+}
+
+// TestInjectorClockCrashRebasing: a clock-driven crash fires in the step
+// whose local clock reaches it, with the elapsed offset subtracted.
+func TestInjectorClockCrashRebasing(t *testing.T) {
+	plan, _ := ParsePlan("crash:r0@t5.0")
+	inj := NewInjector(plan, 2)
+	inj.Arm(0, 0)
+	if inj.CrashError(0, 4.9) != nil {
+		t.Fatal("crash at t=5 must not fire at local clock 4.9, elapsed 0")
+	}
+	if inj.CrashError(0, 5.1) == nil {
+		t.Fatal("crash must fire once the local clock passes it")
+	}
+	// Fresh injector: step boundary passed the crash time without hitting
+	// it (elapsed already beyond) -> overdue, fires immediately.
+	inj2 := NewInjector(plan, 2)
+	inj2.Arm(3, 6.0)
+	if inj2.CrashError(0, 0) == nil {
+		t.Fatal("overdue clock crash must fire at the next step's first op")
+	}
+}
+
+func TestInjectorLinkDerates(t *testing.T) {
+	plan, _ := ParsePlan("link:inter@s2:x4:n2,link:inter@s3:x2,link:rack@s0:x8")
+	inj := NewInjector(plan, 4)
+	if d := inj.LinkDerates(0); d[topology.LinkInterNode] != 0 || d[topology.LinkCrossRack] != 8 {
+		t.Fatalf("step 0 derates = %v", d)
+	}
+	if d := inj.LinkDerates(1); d != nil {
+		t.Fatalf("all one-step windows closed at step 1, got %v", d)
+	}
+	if d := inj.LinkDerates(3); d[topology.LinkInterNode] != 8 { // 4 * 2 compound
+		t.Fatalf("overlapping derates must compound: %v", d)
+	}
+	if d := inj.LinkDerates(4); d[topology.LinkInterNode] != 0 {
+		t.Fatalf("expired window still derates: %v", d)
+	}
+	empty := NewInjector(Plan{}, 4)
+	if d := empty.LinkDerates(0); d != nil {
+		t.Fatalf("healthy plan must return nil derates, got %v", d)
+	}
+}
+
+// TestInjectorDrivesSimrtCluster is the integration check: a planned
+// crash injected through the real runtime aborts the victim with
+// ErrRankCrashed and every survivor with ErrPeerFailed, twice in a row
+// with identical outcomes (the determinism contract).
+func TestInjectorDrivesSimrtCluster(t *testing.T) {
+	run := func() (error, []int) {
+		plan, err := ParsePlan("crash:r1@s0,straggler:r0@s0:x2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := NewInjector(plan, 4)
+		c := simrt.NewCluster(topology.Frontier(), 4, 7)
+		c.Net.DisableCongestion = true
+		c.Inject = inj
+		g := c.WorldGroup()
+		inj.Arm(0, 0)
+		runErr := c.Run(func(r *simrt.Rank) error {
+			r.Compute("gemm", 0.01)
+			r.AllReduce(g, "ar", nil, 4)
+			return nil
+		})
+		return runErr, inj.CrashedRanks()
+	}
+	err1, crashed1 := run()
+	err2, crashed2 := run()
+	if !errors.Is(err1, simrt.ErrRankCrashed) || !errors.Is(err1, simrt.ErrPeerFailed) {
+		t.Fatalf("want crash + peer-failed, got: %v", err1)
+	}
+	// Which abort path each survivor takes (pre-entry check vs rendezvous
+	// wakeup) depends on goroutine scheduling, so error text varies; the
+	// outcome set — who crashed, who aborted — must not.
+	if !errors.Is(err2, simrt.ErrRankCrashed) || !errors.Is(err2, simrt.ErrPeerFailed) {
+		t.Fatalf("second run must reproduce the outcome: %v", err2)
+	}
+	if !reflect.DeepEqual(crashed1, crashed2) || len(crashed1) != 1 || crashed1[0] != 1 {
+		t.Fatalf("crashed ranks %v / %v, want [1] both times", crashed1, crashed2)
+	}
+}

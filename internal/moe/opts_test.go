@@ -1,0 +1,45 @@
+package moe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPipelineOptsCheckRejects pins every rejection path of
+// PipelineOpts.Check: flag-derived options surface these descriptive
+// errors instead of a panic from inside an SPMD rank body.
+func TestPipelineOptsCheckRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		opts PipelineOpts
+		want string
+	}{
+		{"negative chunks", PipelineOpts{OverlapChunks: -1}, "OverlapChunks must be >= 0"},
+		{"huge chunks", PipelineOpts{OverlapChunks: 4097}, "exceeds the supported maximum"},
+		{"negative combine bytes", PipelineOpts{CombineBytes: -8}, "CombineBytes must be >= 0"},
+		{"kernel profile too low", PipelineOpts{Kernels: KernelsTriton - 1}, "unknown kernel profile"},
+		{"kernel profile too high", PipelineOpts{Kernels: KernelsVendor + 1}, "unknown kernel profile"},
+		{"drop policy too low", PipelineOpts{DropPolicy: DropByCapacityWeight - 1}, "unknown drop policy"},
+		{"drop policy too high", PipelineOpts{DropPolicy: DropNegativeThenPosition + 1}, "unknown drop policy"},
+	}
+	for _, c := range cases {
+		err := c.opts.Check()
+		if err == nil {
+			t.Errorf("%s: Check accepted %+v", c.name, c.opts)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// The boundary values themselves are valid.
+	for _, ok := range []PipelineOpts{
+		{},
+		{OverlapChunks: 4096},
+		{Kernels: KernelsVendor, DropPolicy: DropNegativeThenPosition},
+	} {
+		if err := ok.Check(); err != nil {
+			t.Errorf("Check rejected valid opts %+v: %v", ok, err)
+		}
+	}
+}

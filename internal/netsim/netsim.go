@@ -141,6 +141,15 @@ type Network struct {
 	// (allocations are fragmented and the fabric is shared with other
 	// jobs), so congestion scope is the job, not the communicator.
 	JobRanks int
+	// LinkDerate scales down the effective bandwidth of a link class by
+	// the given factor (2 halves it); classes absent or <= 1 are healthy.
+	// This is the degraded-link fault class: a flaky NIC or oversubscribed
+	// global link slows traffic without killing any rank. Latencies and
+	// byte accounting are unaffected — only time stretches. Set it only
+	// while no collectives are in flight (between Cluster.Run calls); the
+	// cost memo folds the derates into its keys, so changing them never
+	// serves stale cached times.
+	LinkDerate map[topology.LinkClass]float64
 
 	mu       sync.Mutex
 	rngState uint64
@@ -237,6 +246,21 @@ func (n *Network) deterministic() bool {
 // mix folds v into the FNV-style hash h.
 func mix(h, v uint64) uint64 { return (h ^ v) * 1099511628211 }
 
+// derateOf returns the bandwidth derate factor for a link class (1 when
+// healthy).
+func (n *Network) derateOf(class topology.LinkClass) float64 {
+	if d, ok := n.LinkDerate[class]; ok && d > 1 {
+		return d
+	}
+	return 1
+}
+
+// bandwidthOf returns the effective bandwidth of a link class after any
+// degraded-link derate.
+func (n *Network) bandwidthOf(class topology.LinkClass) float64 {
+	return n.M.Link(class).Bandwidth / n.derateOf(class)
+}
+
 // hashRanks seeds a collective cache key from the kind tag and the member
 // ranks. JobRanks participates because it widens the congestion scope.
 func (n *Network) hashRanks(kind uint64, ranks []int) uint64 {
@@ -257,6 +281,9 @@ func (n *Network) hashRanks(kind uint64, ranks []int) uint64 {
 	h = mix(h, math.Float64bits(c.OutlierMinDelay))
 	h = mix(h, math.Float64bits(c.OutlierMaxDelay))
 	h = mix(h, math.Float64bits(c.BaseCrossRackSlowdown))
+	for class := topology.LinkLocal; class <= topology.LinkCrossRack; class++ {
+		h = mix(h, math.Float64bits(n.derateOf(class)))
+	}
 	h = mix(h, uint64(len(ranks)))
 	for _, r := range ranks {
 		h = mix(h, uint64(r))
@@ -289,6 +316,23 @@ func (n *Network) cached(key uint64, compute func() Cost) Cost {
 // congestion model, seeded deterministically.
 func New(m *topology.Machine, seed uint64) *Network {
 	return &Network{M: m, Congestion: DefaultCongestion(), rngState: seed}
+}
+
+// RNGState returns the congestion sampler's current state, for
+// checkpointing: restoring it with SetRNGState resumes the outlier
+// stream exactly where it left off, keeping checkpoint-resume runs
+// bit-identical to uninterrupted ones even with sampled congestion.
+func (n *Network) RNGState() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rngState
+}
+
+// SetRNGState restores a congestion sampler state captured by RNGState.
+func (n *Network) SetRNGState(s uint64) {
+	n.mu.Lock()
+	n.rngState = s
+	n.mu.Unlock()
 }
 
 // rand returns a uniform float64 in [0,1) from the network's internal
@@ -389,7 +433,7 @@ func (n *Network) alltoAllV(ranks []int, sendBytes [][]int64) Cost {
 			class := m.Classify(src, dst)
 			byClass[class] += b
 			spec := m.Link(class)
-			bw := spec.Bandwidth
+			bw := n.bandwidthOf(class)
 			if class == topology.LinkCrossRack && !n.DisableCongestion {
 				bw /= n.Congestion.BaseCrossRackSlowdown
 			}
@@ -515,7 +559,7 @@ func (n *Network) allReduce(ranks []int, bytes int64) Cost {
 		// so the cross-collective ring identities hold exactly on even
 		// node layouts; see the Cost.BytesByClass convention note).
 		vol := 2 * float64(g-1) / float64(g) * float64(bytes)
-		t += vol/intra.Bandwidth + 2*float64(g-1)*intra.Latency
+		t += vol/n.bandwidthOf(l.intraClass) + 2*float64(g-1)*intra.Latency
 		byClass[l.intraClass] += 2 * int64(g-1) * bytes * int64(p) / int64(g)
 	}
 	if l.nodes > 1 {
@@ -525,7 +569,11 @@ func (n *Network) allReduce(ranks []int, bytes int64) Cost {
 		shard := float64(bytes) / float64(max(g, 1))
 		vol := 2 * float64(nodes-1) / float64(nodes) * shard * float64(g)
 		interSpec := n.M.Link(topology.LinkInterNode)
-		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(g))
+		interClass := topology.LinkInterNode
+		if l.racks > 1 {
+			interClass = topology.LinkCrossRack
+		}
+		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(g)) / n.derateOf(interClass)
 		t += vol/bw + 2*float64(nodes-1)*interSpec.Latency
 		class := topology.LinkInterNode
 		if l.racks > 1 {
@@ -568,14 +616,18 @@ func (n *Network) allGather(ranks []int, perRankBytes []int64) Cost {
 		// Per-member intra volume, aggregated over all p participants
 		// (same integer-exact convention as allReduce).
 		vol := float64(g-1) / float64(g) * float64(total)
-		t += vol/intra.Bandwidth + float64(g-1)*intra.Latency
+		t += vol/n.bandwidthOf(l.intraClass) + float64(g-1)*intra.Latency
 		byClass[l.intraClass] += int64(g-1) * total * int64(p) / int64(g)
 	}
 	if l.nodes > 1 {
 		nodes := l.nodes
 		vol := float64(nodes-1) / float64(nodes) * float64(total)
 		interSpec := n.M.Link(topology.LinkInterNode)
-		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(max(g, 1)))
+		interClass := topology.LinkInterNode
+		if l.racks > 1 {
+			interClass = topology.LinkCrossRack
+		}
+		bw := math.Min(n.M.NodeNICBandwidth, interSpec.Bandwidth*float64(max(g, 1))) / n.derateOf(interClass)
 		t += vol/bw + float64(nodes-1)*interSpec.Latency
 		class := topology.LinkInterNode
 		if l.racks > 1 {
@@ -632,7 +684,7 @@ func (n *Network) broadcast(ranks []int, bytes int64) Cost {
 		slowest = topology.LinkCrossRack
 	}
 	spec := n.M.Link(slowest)
-	t := float64(steps) * (spec.Latency + float64(bytes)/spec.Bandwidth)
+	t := float64(steps) * (spec.Latency + float64(bytes)/n.bandwidthOf(slowest))
 	byClass := map[topology.LinkClass]int64{slowest: bytes * int64(p-1)}
 	cd := n.congestionDelay(l.racks, byClass[topology.LinkCrossRack]+byClass[topology.LinkInterNode])
 	return Cost{Seconds: t + cd, BytesByClass: byClass, CongestionDelay: cd}

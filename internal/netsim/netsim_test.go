@@ -358,3 +358,91 @@ func TestQuickAlltoAllVMonotoneInVolume(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLinkDerateSlowsOnlyTheDeratedClass pins the degraded-link fault
+// class: derating a link class stretches the time of collectives using
+// it (proportionally for bandwidth-bound exchanges), leaves byte
+// accounting untouched, leaves other classes alone, and is never served
+// stale from the cost memo.
+func TestLinkDerateSlowsOnlyTheDeratedClass(t *testing.T) {
+	m := topology.Frontier()
+	interRanks := []int{0, 8, 16, 24} // 4 nodes, one rack
+	intraRanks := ranksRange(4)       // one node
+	const b = 16 << 20
+
+	healthy := newQuiet(m)
+	baseInter := healthy.AlltoAll(interRanks, b)
+	baseIntra := healthy.AlltoAll(intraRanks, b)
+
+	sick := newQuiet(m)
+	sick.LinkDerate = map[topology.LinkClass]float64{topology.LinkInterNode: 4}
+	slowInter := sick.AlltoAll(interRanks, b)
+	sameIntra := sick.AlltoAll(intraRanks, b)
+
+	if slowInter.Seconds <= baseInter.Seconds {
+		t.Fatalf("derated inter-node a2a %.6fs not slower than healthy %.6fs",
+			slowInter.Seconds, baseInter.Seconds)
+	}
+	if sameIntra.Seconds != baseIntra.Seconds {
+		t.Fatalf("intra-node a2a must be unaffected: %.9f vs %.9f",
+			sameIntra.Seconds, baseIntra.Seconds)
+	}
+	for class, bytes := range baseInter.BytesByClass {
+		if slowInter.BytesByClass[class] != bytes {
+			t.Fatalf("derate changed byte accounting for %v", class)
+		}
+	}
+
+	// AllReduce and Broadcast across nodes must slow too.
+	if h, s := healthy.AllReduce(interRanks, b), sick.AllReduce(interRanks, b); s.Seconds <= h.Seconds {
+		t.Fatalf("derated allreduce %.6fs not slower than %.6fs", s.Seconds, h.Seconds)
+	}
+	if h, s := healthy.Broadcast(interRanks, b), sick.Broadcast(interRanks, b); s.Seconds <= h.Seconds {
+		t.Fatalf("derated broadcast %.6fs not slower than %.6fs", s.Seconds, h.Seconds)
+	}
+
+	// Clearing the derate on the same Network must return to baseline —
+	// the memo keys fold the derates, so no stale entry can be served.
+	sick.LinkDerate = nil
+	if got := sick.AlltoAll(interRanks, b); got.Seconds != baseInter.Seconds {
+		t.Fatalf("cleared derate served stale cost: %.9f vs %.9f", got.Seconds, baseInter.Seconds)
+	}
+
+	// Derates <= 1 and unknown classes are healthy.
+	noop := newQuiet(m)
+	noop.LinkDerate = map[topology.LinkClass]float64{topology.LinkInterNode: 0.5}
+	if got := noop.AlltoAll(interRanks, b); got.Seconds != baseInter.Seconds {
+		t.Fatalf("derate <= 1 must be a no-op: %.9f vs %.9f", got.Seconds, baseInter.Seconds)
+	}
+}
+
+// TestRNGStateRoundTrip pins the checkpointable congestion sampler: a
+// network restored to a saved state replays the identical outlier
+// stream.
+func TestRNGStateRoundTrip(t *testing.T) {
+	m := topology.Frontier()
+	n := New(m, 7)
+	ranks := make([]int, 64) // spans racks so congestion actually samples
+	for i := range ranks {
+		ranks[i] = i * (m.GPUsPerNode * m.NodesPerRack) / 16
+	}
+	// Burn some samples, checkpoint, then record a trajectory.
+	for i := 0; i < 5; i++ {
+		n.AlltoAll(ranks, 1<<20)
+	}
+	state := n.RNGState()
+	var first []float64
+	for i := 0; i < 8; i++ {
+		first = append(first, n.AlltoAll(ranks, 1<<20).Seconds)
+	}
+	// Restore and replay: must be bit-identical.
+	n.SetRNGState(state)
+	for i := 0; i < 8; i++ {
+		if got := n.AlltoAll(ranks, 1<<20).Seconds; got != first[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, got, first[i])
+		}
+	}
+	if n.RNGState() == 0 {
+		t.Fatal("state should be non-trivial")
+	}
+}

@@ -47,12 +47,15 @@ type a2avAsyncResult struct {
 // all), so Cluster.Run reports never-waited handles as rank errors when
 // the SPMD body returns.
 type CommHandle struct {
-	r      *Rank
-	name   string
-	start  float64
-	end    float64
-	recv   []Part
-	waited bool
+	r    *Rank
+	name string
+	// issuedAt is the rank's clock when the collective was issued; the
+	// leak report and WaitDeadline are anchored to it.
+	issuedAt float64
+	start    float64
+	end      float64
+	recv     []Part
+	waited   bool
 }
 
 // Seconds returns the collective's full modeled duration, regardless of
@@ -98,7 +101,8 @@ func (r *Rank) AlltoAllVAsync(g *Group, name string, send []Part) *CommHandle {
 	if len(send) != g.Size() {
 		panic(fmt.Sprintf("simrt: AlltoAllVAsync send has %d parts for group of %d", len(send), g.Size()))
 	}
-	res := g.collectNoSync(r, a2avAsyncEntry{parts: send, busy: r.commBusyUntil},
+	r.preCollective(name)
+	res := g.collectNoSync(r, name, a2avAsyncEntry{parts: send, busy: r.commBusyUntil},
 		func(entries []any, clocks []float64) any {
 			p := len(entries)
 			bytes := make([][]int64, p)
@@ -128,24 +132,51 @@ func (r *Rank) AlltoAllVAsync(g *Group, name string, send []Part) *CommHandle {
 		}).(a2avAsyncResult)
 	r.commBusyUntil = res.end
 	h := &CommHandle{
-		r:     r,
-		name:  name,
-		start: res.start,
-		end:   res.end,
-		recv:  res.recv[g.IndexOf(r.ID)],
+		r:        r,
+		name:     name,
+		issuedAt: r.Clock,
+		start:    res.start,
+		end:      res.end,
+		recv:     res.recv[g.IndexOf(r.ID)],
 	}
 	r.issuedHandles = append(r.issuedHandles, h)
 	return h
 }
 
-// leakedHandles returns the names of async collectives this rank issued
-// but never waited, in issue order. Called by the Run harness after the
-// SPMD body returns.
+// WaitDeadline is Wait with a timeout anchored at issue time: if the
+// collective's modeled completion lands more than timeout seconds after
+// it was issued, the rank charges its clock only up to the deadline
+// (recorded as "<name>_timeout"), the payload is discarded, and
+// ErrCommTimeout is returned — the simulated analogue of a NCCL/RCCL
+// watchdog firing on a stuck collective. On time, it behaves exactly
+// like Wait. Either way the handle counts as waited.
+func (h *CommHandle) WaitDeadline(timeout float64) ([]Part, error) {
+	if h.waited {
+		return h.recv, nil
+	}
+	if h.end-h.issuedAt > timeout {
+		h.waited = true
+		r := h.r
+		r.Trace.RecordOverlapped(h.name, h.start, h.end-h.start)
+		if deadline := h.issuedAt + timeout; deadline > r.Clock {
+			r.Trace.Record(h.name+"_timeout", r.Clock, deadline-r.Clock)
+			r.Clock = deadline
+		}
+		return nil, fmt.Errorf("simrt: %s issued at %.6fs would complete at %.6fs, %.6fs past its %.6fs deadline: %w",
+			h.name, h.issuedAt, h.end, h.end-h.issuedAt-timeout, timeout, ErrCommTimeout)
+	}
+	return h.Wait(), nil
+}
+
+// leakedHandles describes the async collectives this rank issued but
+// never waited, in issue order, each as "<name>@<issue clock>" so an
+// aborted run pinpoints which call dropped its synchronisation. Called
+// by the Run harness after the SPMD body returns.
 func (r *Rank) leakedHandles() []string {
 	var leaked []string
 	for _, h := range r.issuedHandles {
 		if !h.waited {
-			leaked = append(leaked, h.name)
+			leaked = append(leaked, fmt.Sprintf("%s@%.6fs", h.name, h.issuedAt))
 		}
 	}
 	return leaked

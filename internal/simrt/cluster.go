@@ -123,7 +123,20 @@ type Cluster struct {
 	// The determinism regression tests use this to compare pooled and
 	// fresh execution bit for bit.
 	DisablePools bool
-	devices      []*Device
+	// Inject, when non-nil, is consulted by every rank at each compute
+	// span and collective entry to apply deterministic faults: straggler
+	// compute scaling, flaky-collective retry delays, and crashes (see
+	// internal/fault for the seeded plan that implements it).
+	Inject  Injector
+	devices []*Device
+
+	// failMu guards the failure registry and the group list. failed maps
+	// a rank that went down in the current Run to its error; groups
+	// lists every communicator ever created on this cluster so failRank
+	// can abort their rendezvous.
+	failMu sync.Mutex
+	failed map[int]error
+	groups []*Group
 }
 
 // NewCluster creates a cluster of n ranks on machine m, seeding the
@@ -187,10 +200,20 @@ func (r *Rank) Pool() *tensor.Pool {
 }
 
 // Compute advances the rank's clock by dur seconds, recording the span
-// under name.
+// under name. When fault injection is active, a pending crash fires at
+// the span's entry and straggler ranks see their durations scaled by the
+// injector's compute multiplier.
 func (r *Rank) Compute(name string, dur float64) {
 	if dur < 0 {
 		panic(fmt.Sprintf("simrt: negative compute duration %g (%s)", dur, name))
+	}
+	if inj := r.C.Inject; inj != nil {
+		if err := inj.CrashError(r.ID, r.Clock); err != nil {
+			r.fail(fmt.Errorf("rank %d at %.6fs in %s: %w", r.ID, r.Clock, name, err))
+		}
+		if s := inj.ComputeScale(r.ID); s > 0 && s != 1 {
+			dur *= s
+		}
 	}
 	r.Trace.Record(name, r.Clock, dur)
 	r.Clock += dur
@@ -208,13 +231,18 @@ func (r *Rank) Kernel(name string, class perfmodel.KernelClass, bytes int64) {
 }
 
 // Run executes fn once per rank, each on its own goroutine, and waits for
-// all to finish. It returns the combined error of all failing ranks. Rank
-// panics are converted to errors so a failing SPMD body cannot deadlock
-// the harness (panics in collectives may still leave peers blocked, so
-// tests should treat any error as fatal). A rank that returns with
+// all to finish. It returns the combined error of all failing ranks and
+// always returns: a rank that panics, crashes (injected fault), or
+// returns an error is marked gone on every group it belongs to, so peers
+// parked at (or later issuing) collectives with it unwind with a typed
+// ErrPeerFailed instead of deadlocking. A rank that returns with
 // issued-but-never-waited async collective handles is reported as an
-// error too: a dropped CommHandle is a lost synchronisation.
+// error too: a dropped CommHandle is a lost synchronisation. After a
+// failed Run the cluster is poisoned (rank collective counters are
+// desynchronised); rebuild it rather than calling Run again. After a
+// clean Run the cluster is reusable as before.
 func (c *Cluster) Run(fn func(r *Rank) error) error {
+	c.resetFailures()
 	errs := make([]error, c.NumRanks)
 	var wg sync.WaitGroup
 	for i := 0; i < c.NumRanks; i++ {
@@ -223,7 +251,16 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[id] = fmt.Errorf("rank %d panicked: %v", id, p)
+					if ap, ok := p.(abortPanic); ok {
+						errs[id] = ap.err
+					} else {
+						errs[id] = fmt.Errorf("rank %d panicked: %v", id, p)
+					}
+				}
+				if errs[id] != nil {
+					c.failRank(id, errs[id])
+				} else {
+					c.rankDone(id)
 				}
 			}()
 			rank := &Rank{ID: id, C: c, Trace: &trace.Recorder{}}
@@ -315,13 +352,17 @@ func (c *Cluster) NewGroup(ranks []int) *Group {
 		}
 		idx[r] = i
 	}
-	return &Group{
+	g := &Group{
 		c:       c,
 		ranks:   rs,
 		index:   idx,
 		counter: make([]uint64, len(rs)),
+		gone:    make([]error, len(rs)),
+		goneAt:  make([]uint64, len(rs)),
 		pending: map[uint64]*rendezvous{},
 	}
+	c.registerGroup(g)
+	return g
 }
 
 // WorldGroup returns a communicator over all ranks.

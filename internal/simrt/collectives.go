@@ -51,9 +51,10 @@ func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
 	if len(send) != g.Size() {
 		panic(fmt.Sprintf("simrt: AlltoAllV send has %d parts for group of %d", len(send), g.Size()))
 	}
+	r.preCollective(name)
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, a2avEntry{parts: send}, func(entries []any, _ []float64) any {
+	res := g.collect(r, name, a2avEntry{parts: send}, func(entries []any, _ []float64) any {
 		// Row slices view two flat backing arrays: large groups would
 		// otherwise pay 2p allocations per collective, which dominates
 		// the symbolic sweeps at 256-1024 ranks.
@@ -103,9 +104,10 @@ type allReduceResult struct {
 // the modeled ring-allreduce time for the given per-rank byte size. The
 // returned slice is shared by all members and must not be mutated.
 func (r *Rank) AllReduce(g *Group, name string, data []float32, bytes int64) []float32 {
+	r.preCollective(name)
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, allReduceEntry{data: data, bytes: bytes}, func(entries []any, _ []float64) any {
+	res := g.collect(r, name, allReduceEntry{data: data, bytes: bytes}, func(entries []any, _ []float64) any {
 		var maxBytes int64
 		var sum []float32
 		for _, e := range entries {
@@ -138,9 +140,10 @@ type allGatherResult struct {
 // full list indexed by member. The returned parts are shared and must not
 // be mutated.
 func (r *Rank) AllGather(g *Group, name string, part Part) []Part {
+	r.preCollective(name)
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, part, func(entries []any, _ []float64) any {
+	res := g.collect(r, name, part, func(entries []any, _ []float64) any {
 		parts := make([]Part, len(entries))
 		bytes := make([]int64, len(entries))
 		for i, e := range entries {
@@ -165,9 +168,10 @@ type bcastResult struct {
 // root's buffer and the root may overwrite its own data immediately after
 // the call without racing slower receivers.
 func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
+	r.preCollective(name)
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, part, func(entries []any, _ []float64) any {
+	res := g.collect(r, name, part, func(entries []any, _ []float64) any {
 		p := entries[rootIdx].(Part)
 		if p.Data != nil {
 			d := make([]float32, len(p.Data))
@@ -183,9 +187,10 @@ func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
 
 // Barrier synchronises all members' clocks.
 func (r *Rank) Barrier(g *Group) {
+	r.preCollective("barrier")
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, nil, func(entries []any, _ []float64) any {
+	res := g.collect(r, "barrier", nil, func(entries []any, _ []float64) any {
 		return g.c.Net.Barrier(g.ranks)
 	}).(netsim.Cost)
 	r.Clock += res.Seconds
@@ -216,9 +221,10 @@ func (r *Rank) ExchangeCounts(g *Group, name string, counts []int64) []int64 {
 	if len(counts) != g.Size() {
 		panic(fmt.Sprintf("simrt: ExchangeCounts has %d counts for group of %d", len(counts), g.Size()))
 	}
+	r.preCollective(name)
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
-	res := g.collect(r, counts, func(entries []any, _ []float64) any {
+	res := g.collect(r, name, counts, func(entries []any, _ []float64) any {
 		p := len(entries)
 		flat := make([]int64, p*p)
 		recv := make([][]int64, p)

@@ -1,0 +1,343 @@
+package simrt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testInjector is a hand-rolled Injector for runtime-level tests (the
+// seeded plan lives in internal/fault; these tests pin the runtime
+// contract independently of it).
+type testInjector struct {
+	mu         sync.Mutex
+	scale      map[int]float64    // rank -> compute multiplier
+	delays     map[string]float64 // "rank/name" -> retry delay, consumed once
+	crashClock map[int]float64    // rank -> crash at-or-after this clock
+	crashErr   error
+}
+
+func (i *testInjector) ComputeScale(rank int) float64 {
+	if s, ok := i.scale[rank]; ok {
+		return s
+	}
+	return 1
+}
+
+func (i *testInjector) CollectiveDelay(rank int, name string, clock float64) float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	key := fmt.Sprintf("%d/%s", rank, name)
+	d := i.delays[key]
+	delete(i.delays, key)
+	return d
+}
+
+func (i *testInjector) CrashError(rank int, clock float64) error {
+	at, ok := i.crashClock[rank]
+	if !ok || clock < at {
+		return nil
+	}
+	if i.crashErr != nil {
+		return i.crashErr
+	}
+	return ErrRankCrashed
+}
+
+// TestRunReturnsWhenRankPanicsMidCollective is the deadlock regression
+// the abort machinery exists for: one rank panics before joining a
+// collective while every peer is already parked at the rendezvous.
+// Before the abort machinery, Run never returned. Now it must return a
+// joined error that attributes the panic to rank 1 and gives every
+// survivor a typed ErrPeerFailed.
+func TestRunReturnsWhenRankPanicsMidCollective(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 1 {
+			// Let the peers reach the rendezvous first so the abort has
+			// to wake parked waiters, not just fail fast at entry.
+			panic("simulated hard fault")
+		}
+		r.AllReduce(g, "ar", []float32{1}, 4)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Run must return an error when a rank dies mid-collective")
+	}
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("survivors must observe ErrPeerFailed, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1 panicked") {
+		t.Fatalf("error must attribute the panic to rank 1, got: %v", err)
+	}
+	// All three survivors must report the aborted collective by name.
+	if got := strings.Count(err.Error(), "ar aborted"); got != 3 {
+		t.Fatalf("want 3 survivor aborts naming the collective, got %d in: %v", got, err)
+	}
+	if fr := c.FailedRanks(); fr[1] == nil {
+		t.Fatalf("failure registry must record rank 1, got %v", fr)
+	}
+}
+
+// TestRunReturnsWhenRankErrorsMidCollective: same regression for a rank
+// that returns an error (no panic) while peers are blocked.
+func TestRunReturnsWhenRankErrorsMidCollective(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	sentinel := errors.New("body gave up")
+	err := c.Run(func(r *Rank) error {
+		if r.ID == 2 {
+			return sentinel
+		}
+		r.Barrier(g)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("failing rank's own error lost: %v", err)
+	}
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("survivors must observe ErrPeerFailed: %v", err)
+	}
+}
+
+// TestInjectedCrashAbortsPeers pins the Injector crash path end to end:
+// the victim unwinds with ErrRankCrashed at its first operation at or
+// after the crash clock, and peers abort instead of deadlocking.
+func TestInjectedCrashAbortsPeers(t *testing.T) {
+	c := testCluster(4)
+	c.Inject = &testInjector{crashClock: map[int]float64{3: 0.5}}
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		r.Compute("warmup", 0.6) // rank 3's next boundary is past 0.5
+		r.AllReduce(g, "ar", nil, 4)
+		return nil
+	})
+	if !errors.Is(err, ErrRankCrashed) {
+		t.Fatalf("victim must report ErrRankCrashed: %v", err)
+	}
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("survivors must report ErrPeerFailed: %v", err)
+	}
+	if fr := c.FailedRanks(); !errors.Is(fr[3], ErrRankCrashed) {
+		t.Fatalf("registry must blame rank 3's crash, got %v", fr)
+	}
+}
+
+// TestCrashDoesNotAbortCompletedRendezvous pins the sequence-aware gone
+// marks: a rendezvous the victim fully participated in completes
+// normally on every rank; only the next one aborts.
+func TestCrashDoesNotAbortCompletedRendezvous(t *testing.T) {
+	c := testCluster(4)
+	c.Inject = &testInjector{crashClock: map[int]float64{0: 0.1}}
+	g := c.WorldGroup()
+	sums := make([]float32, 4)
+	err := c.Run(func(r *Rank) error {
+		// First collective at clock 0 — before the crash arms.
+		sums[r.ID] = r.AllReduce(g, "ar1", []float32{1}, 4)[0]
+		r.Compute("work", 0.2) // rank 0 crashes at this boundary's entry+next op
+		r.AllReduce(g, "ar2", []float32{1}, 4)
+		return nil
+	})
+	if err == nil || !errors.Is(err, ErrRankCrashed) {
+		t.Fatalf("want injected crash, got: %v", err)
+	}
+	for id, s := range sums {
+		if s != 4 {
+			t.Fatalf("rank %d: pre-crash collective corrupted: sum=%v", id, s)
+		}
+	}
+}
+
+// TestStragglerScalesComputeAndPeersAbsorbIt: the straggler's compute
+// spans stretch by the multiplier and the BSP collective drags every
+// peer's clock to the straggler's.
+func TestStragglerScalesComputeAndPeersAbsorbIt(t *testing.T) {
+	c := testCluster(4)
+	c.Inject = &testInjector{scale: map[int]float64{2: 3}}
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *Rank) error {
+		r.Compute("gemm", 0.1)
+		r.Barrier(g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ranks[2].Trace.Total("gemm"); math.Abs(got-0.3) > 1e-15 {
+		t.Fatalf("straggler compute = %v, want 0.3 (3x)", got)
+	}
+	if got := ranks[0].Trace.Total("gemm"); got != 0.1 {
+		t.Fatalf("healthy rank compute = %v, want 0.1", got)
+	}
+	for _, r := range ranks {
+		if r.Clock < 0.3 {
+			t.Fatalf("rank %d clock %v: barrier must drag everyone to the straggler", r.ID, r.Clock)
+		}
+	}
+}
+
+// TestFlakyCollectiveDelayChargedToClock: the injector's retry delay is
+// charged to the victim's clock before the collective, recorded as
+// "<name>_retry", and the charged breakdown still sums to wall-clock.
+func TestFlakyCollectiveDelayChargedToClock(t *testing.T) {
+	c := testCluster(2)
+	c.Inject = &testInjector{delays: map[string]float64{"1/ar": 0.25}}
+	g := c.WorldGroup()
+	ranks, err := c.RunCollect(func(r *Rank) error {
+		r.AllReduce(g, "ar", nil, 4)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ranks[1].Trace.Total("ar_retry"); got != 0.25 {
+		t.Fatalf("retry span = %v, want 0.25", got)
+	}
+	if ranks[0].Clock < 0.25 {
+		t.Fatalf("BSP peer must absorb the retry delay, clock=%v", ranks[0].Clock)
+	}
+	for _, r := range ranks {
+		var sum float64
+		for _, d := range r.Trace.Breakdown() {
+			sum += d
+		}
+		if diff := sum - r.Clock; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("rank %d breakdown %v != clock %v", r.ID, sum, r.Clock)
+		}
+	}
+}
+
+// TestDesyncReturnsErrorNotDeadlock: a buggy SPMD body where one rank
+// issues fewer collectives than its peers used to deadlock Run; now the
+// peers get a desync ErrPeerFailed once the short rank returns.
+func TestDesyncReturnsErrorNotDeadlock(t *testing.T) {
+	c := testCluster(3)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		r.Barrier(g)
+		if r.ID == 0 {
+			return nil // one barrier short
+		}
+		r.Barrier(g)
+		return nil
+	})
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("desync must surface as ErrPeerFailed, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "desync") {
+		t.Fatalf("error should call out the desync, got: %v", err)
+	}
+}
+
+// TestCleanRunsReusableAfterInjection: a cluster whose Runs complete
+// cleanly stays reusable step after step (the DistTrainer pattern), and
+// the failure registry stays empty.
+func TestCleanRunsReusableAfterInjection(t *testing.T) {
+	c := testCluster(4)
+	c.Inject = &testInjector{scale: map[int]float64{1: 2}}
+	g := c.WorldGroup()
+	for step := 0; step < 5; step++ {
+		err := c.Run(func(r *Rank) error {
+			r.Compute("gemm", 0.01)
+			if got := r.AllReduce(g, "ar", []float32{1}, 4)[0]; got != 4 {
+				return fmt.Errorf("step %d: sum=%v", step, got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if len(c.FailedRanks()) != 0 {
+			t.Fatalf("step %d: spurious failures: %v", step, c.FailedRanks())
+		}
+	}
+}
+
+// TestWaitDeadline pins CommHandle.WaitDeadline: an on-time collective
+// behaves like Wait; a late one charges exactly to the deadline and
+// returns ErrCommTimeout.
+func TestWaitDeadline(t *testing.T) {
+	c := testCluster(4)
+	g := c.WorldGroup()
+	const bytes = 4 << 20
+	cost := c.Net.AlltoAllV(g.Ranks(), evenMatrix(4, bytes)).Seconds
+	err := c.Run(func(r *Rank) error {
+		// Generous deadline: identical to Wait.
+		h := r.AlltoAllVAsync(g, "a2a", evenParts(4, bytes))
+		recv, err := h.WaitDeadline(10 * cost)
+		if err != nil || len(recv) != 4 {
+			return fmt.Errorf("on-time WaitDeadline failed: %v", err)
+		}
+		if r.Clock != cost {
+			return fmt.Errorf("on-time WaitDeadline charged %v, want %v", r.Clock, cost)
+		}
+
+		// Tight deadline: the collective cannot make it.
+		issued := r.Clock
+		h2 := r.AlltoAllVAsync(g, "a2a_slow", evenParts(4, bytes))
+		recv2, err2 := h2.WaitDeadline(cost / 2)
+		if !errors.Is(err2, ErrCommTimeout) {
+			return fmt.Errorf("late WaitDeadline must return ErrCommTimeout, got %v", err2)
+		}
+		if recv2 != nil {
+			return fmt.Errorf("timed-out wait must not deliver a payload")
+		}
+		if got, want := r.Clock-issued, cost/2; math.Abs(got-want) > 1e-15 {
+			return fmt.Errorf("timeout charged %v, want the deadline %v", got, want)
+		}
+		if got := r.Trace.Total("a2a_slow_timeout"); math.Abs(got-cost/2) > 1e-15 {
+			return fmt.Errorf("timeout span = %v, want %v", got, cost/2)
+		}
+		// The handle counts as waited: no leak report on return.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeakedHandleReportNamesIssueClock pins the upgraded leak report:
+// name plus issue-time clock.
+func TestLeakedHandleReportNamesIssueClock(t *testing.T) {
+	c := testCluster(2)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		r.Compute("warmup", 0.125)
+		h := r.AlltoAllVAsync(g, "dropped_a2a", evenParts(2, 1<<10))
+		if r.ID == 1 {
+			h.Wait()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("leak must surface")
+	}
+	if !strings.Contains(err.Error(), "dropped_a2a@0.125000s") {
+		t.Fatalf("leak report must carry name and issue clock, got: %v", err)
+	}
+}
+
+// TestReducerPanicDoesNotDeadlockPeers: a panic inside a collective's
+// reducer (while holding the rendezvous lock) must fail the rendezvous
+// and unwind everyone.
+func TestReducerPanicDoesNotDeadlockPeers(t *testing.T) {
+	c := testCluster(3)
+	g := c.WorldGroup()
+	err := c.Run(func(r *Rank) error {
+		// Broadcast clones the root part; a nil entry where the root
+		// index points makes the reducer's type assertion panic on the
+		// last arriver.
+		r.Broadcast(g, "bc", 5, Part{Bytes: 4}) // rootIdx out of range: reducer panics
+		return nil
+	})
+	if err == nil {
+		t.Fatal("reducer panic must surface, not deadlock")
+	}
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("peers of the panicking reducer must see ErrPeerFailed: %v", err)
+	}
+}

@@ -17,6 +17,13 @@ type Group struct {
 	mu      sync.Mutex
 	counter []uint64 // per-member collective sequence number
 	pending map[uint64]*rendezvous
+	// gone[i] is non-nil when member i can no longer participate in
+	// collectives (crashed, errored, or returned); goneAt[i] is the first
+	// sequence number the member will never reach. Rendezvous at earlier
+	// sequences already hold its deposit and complete normally; rendezvous
+	// at goneAt or later abort with ErrPeerFailed instead of deadlocking.
+	gone   []error
+	goneAt []uint64
 	// countMatrix is the lazily built constant byte matrix of the
 	// ExchangeCounts metadata collective (8 bytes per pair, self
 	// included), cached because it is identical for every exchange on
@@ -75,6 +82,10 @@ type rendezvous struct {
 	arrived int
 	left    int
 	done    bool
+	// failed is set (and cond broadcast) when a member that has not yet
+	// deposited goes away: the rendezvous can never complete, so waiters
+	// wake and abort instead of parking forever.
+	failed  error
 	entries []any
 	clocks  []float64
 	result  any
@@ -92,8 +103,8 @@ func newRendezvous(n int) *rendezvous {
 // clock (BSP semantics), and returns the shared result. The collective's
 // modeled duration is part of the result and must be added to r.Clock by
 // the caller.
-func (g *Group) collect(r *Rank, entry any, reduce func(entries []any, clocks []float64) any) any {
-	return g.collectClock(r, entry, reduce, true)
+func (g *Group) collect(r *Rank, name string, entry any, reduce func(entries []any, clocks []float64) any) any {
+	return g.collectClock(r, name, entry, reduce, true)
 }
 
 // collectNoSync is collect without the BSP clock synchronisation: the rank
@@ -102,15 +113,27 @@ func (g *Group) collect(r *Rank, entry any, reduce func(entries []any, clocks []
 // Non-blocking collectives use this — the synchronisation point (the
 // collective's start time, max over entry clocks) travels inside the
 // reducer's result and is charged lazily by CommHandle.Wait.
-func (g *Group) collectNoSync(r *Rank, entry any, reduce func(entries []any, clocks []float64) any) any {
-	return g.collectClock(r, entry, reduce, false)
+func (g *Group) collectNoSync(r *Rank, name string, entry any, reduce func(entries []any, clocks []float64) any) any {
+	return g.collectClock(r, name, entry, reduce, false)
 }
 
-func (g *Group) collectClock(r *Rank, entry any, reduce func(entries []any, clocks []float64) any, sync bool) any {
+func (g *Group) collectClock(r *Rank, name string, entry any, reduce func(entries []any, clocks []float64) any, sync bool) any {
 	idx := g.IndexOf(r.ID)
 
 	g.mu.Lock()
 	seq := g.counter[idx]
+	// A member already gone before this sequence will never deposit, so
+	// the rendezvous can never complete: abort without parking. Checked
+	// under g.mu, the same lock markGone holds while setting gone marks
+	// and aborting pending rendezvous, so a failure is either seen here
+	// or wakes this rank from the rendezvous below — never missed.
+	for m, ge := range g.gone {
+		if ge != nil && m != idx && g.goneAt[m] <= seq {
+			g.mu.Unlock()
+			r.fail(fmt.Errorf("rank %d: %s aborted, peer rank %d gone (%v): %w",
+				r.ID, name, g.ranks[m], ge, ErrPeerFailed))
+		}
+	}
 	g.counter[idx]++
 	rv, ok := g.pending[seq]
 	if !ok {
@@ -124,13 +147,34 @@ func (g *Group) collectClock(r *Rank, entry any, reduce func(entries []any, cloc
 	rv.clocks[idx] = r.Clock
 	rv.arrived++
 	if rv.arrived == len(g.ranks) {
-		rv.result = reduce(rv.entries, rv.clocks)
+		// If the reducer panics it would unwind holding rv.mu and park
+		// every peer forever; fail the rendezvous first, then let the
+		// panic continue to Run's recover.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					rv.failed = fmt.Errorf("rank %d: %s reducer panicked: %v: %w",
+						r.ID, name, p, ErrPeerFailed)
+					rv.cond.Broadcast()
+					rv.mu.Unlock()
+					panic(p)
+				}
+			}()
+			rv.result = reduce(rv.entries, rv.clocks)
+		}()
 		rv.done = true
 		rv.cond.Broadcast()
 	} else {
-		for !rv.done {
+		for !rv.done && rv.failed == nil {
 			rv.cond.Wait()
 		}
+	}
+	if rv.failed != nil {
+		err := rv.failed
+		rv.mu.Unlock()
+		// The pending entry is intentionally leaked: the cluster is
+		// poisoned after a failed Run and must be rebuilt, not reused.
+		r.fail(fmt.Errorf("rank %d: %s aborted at rendezvous: %w", r.ID, name, err))
 	}
 	res := rv.result
 	var mc float64
@@ -153,4 +197,51 @@ func (g *Group) collectClock(r *Rank, entry any, reduce func(entries []any, cloc
 		r.Clock = mc
 	}
 	return res
+}
+
+// markGone records that global rank gr will issue no further collectives
+// on this group, failing it with err, and wakes waiters at every pending
+// rendezvous the rank never deposited to (sequence >= its counter).
+// Rendezvous it already deposited to complete normally, so a crash never
+// corrupts an exchange that was already fully determined. No-op if gr is
+// not a member or was already marked.
+func (g *Group) markGone(gr int, err error) {
+	idx, ok := g.index[gr]
+	if !ok {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.gone == nil {
+		g.gone = make([]error, len(g.ranks))
+		g.goneAt = make([]uint64, len(g.ranks))
+	}
+	if g.gone[idx] != nil {
+		return
+	}
+	g.gone[idx] = err
+	g.goneAt[idx] = g.counter[idx]
+	for seq, rv := range g.pending {
+		if seq < g.goneAt[idx] {
+			continue // the gone rank already deposited; it can complete
+		}
+		rv.mu.Lock()
+		if !rv.done && rv.failed == nil {
+			rv.failed = fmt.Errorf("peer rank %d gone (%v): %w", gr, err, ErrPeerFailed)
+			rv.cond.Broadcast()
+		}
+		rv.mu.Unlock()
+	}
+}
+
+// clearGone resets the gone marks so a cleanly reused cluster (one Run
+// per training step on persistent groups) does not see stale
+// end-of-previous-Run marks from rankDone.
+func (g *Group) clearGone() {
+	g.mu.Lock()
+	for i := range g.gone {
+		g.gone[i] = nil
+		g.goneAt[i] = 0
+	}
+	g.mu.Unlock()
 }

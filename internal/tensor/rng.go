@@ -18,6 +18,27 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// RNGState is a serialisable snapshot of an RNG, including the cached
+// Box-Muller spare so a restored generator reproduces the exact normal
+// stream (dropping the spare would desynchronise every second Norm call).
+type RNGState struct {
+	State    uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// State captures the generator's full state for checkpointing.
+func (r *RNG) State() RNGState {
+	return RNGState{State: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// SetState restores a snapshot captured by State.
+func (r *RNG) SetState(s RNGState) {
+	r.state = s.State
+	r.hasSpare = s.HasSpare
+	r.spare = s.Spare
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -24,6 +24,12 @@ type Event struct {
 	// only the uncovered remainder, so Breakdown sums (which must add up
 	// to wall-clock time) skip them.
 	Overlap bool
+	// Mark flags an instantaneous (zero-duration) annotation on the
+	// timeline — a fault injection, a checkpoint commit, a recovery
+	// boundary. Marks carry no time, so Breakdown/ChargedTotal/Total skip
+	// them entirely (no zero-valued keys polluting per-stage tables); use
+	// Marks to inspect them.
+	Mark bool
 }
 
 // Recorder accumulates events. It is safe for concurrent use. The zero
@@ -51,6 +57,42 @@ func (r *Recorder) RecordOverlapped(name string, start, dur float64) {
 	r.mu.Unlock()
 }
 
+// Mark appends an instantaneous event at virtual time at: a zero-duration
+// annotation (fault injection, checkpoint, recovery boundary) that shares
+// the timeline with spans but never contributes to Breakdown, Total, or
+// ChargedTotal — those keep summing to wall-clock time exactly as before.
+func (r *Recorder) Mark(name string, at float64) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Start: at, Mark: true})
+	r.mu.Unlock()
+}
+
+// Marks returns a copy of the instantaneous events in insertion order.
+func (r *Recorder) Marks() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Mark {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MarkCount returns the number of marks with the given name.
+func (r *Recorder) MarkCount(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Mark && e.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
 // Events returns a copy of all recorded events in insertion order.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
@@ -67,7 +109,7 @@ func (r *Recorder) Total(name string) float64 {
 	defer r.mu.Unlock()
 	var t float64
 	for _, e := range r.events {
-		if e.Name == name && !e.Overlap {
+		if e.Name == name && !e.Overlap && !e.Mark {
 			t += e.Dur
 		}
 	}
@@ -101,7 +143,7 @@ func (r *Recorder) ChargedTotal() float64 {
 	defer r.mu.Unlock()
 	var t float64
 	for _, e := range r.events {
-		if !e.Overlap {
+		if !e.Overlap && !e.Mark {
 			t += e.Dur
 		}
 	}
@@ -116,7 +158,7 @@ func (r *Recorder) Breakdown() map[string]float64 {
 	defer r.mu.Unlock()
 	out := map[string]float64{}
 	for _, e := range r.events {
-		if !e.Overlap {
+		if !e.Overlap && !e.Mark {
 			out[e.Name] += e.Dur
 		}
 	}

@@ -72,6 +72,53 @@ func TestOverlappedSpans(t *testing.T) {
 	}
 }
 
+// TestMarks pins the instantaneous-event contract: marks appear in
+// Events/Marks/MarkCount but never perturb the clock-charged aggregates
+// (Breakdown keys, ChargedTotal, Total, Names), so fault and checkpoint
+// annotations can share the timeline with per-stage spans for free.
+func TestMarks(t *testing.T) {
+	var r Recorder
+	r.Record("gemm", 0, 3.0)
+	r.Mark("fault:crash", 1.0)
+	r.Mark("ckpt", 2.0)
+	r.Mark("ckpt", 2.5)
+	if got := r.ChargedTotal(); got != 3.0 {
+		t.Fatalf("ChargedTotal = %f, want 3.0 (marks must not count)", got)
+	}
+	if got := r.Total("ckpt"); got != 0 {
+		t.Fatalf("Total(ckpt) = %f, want 0", got)
+	}
+	b := r.Breakdown()
+	if len(b) != 1 || b["gemm"] != 3.0 {
+		t.Fatalf("Breakdown = %v, want only {gemm: 3.0}", b)
+	}
+	names := r.Names()
+	if len(names) != 1 || names[0] != "gemm" {
+		t.Fatalf("Names = %v, marks must not introduce zero-valued keys", names)
+	}
+	marks := r.Marks()
+	if len(marks) != 3 || marks[0].Name != "fault:crash" || marks[0].Start != 1.0 {
+		t.Fatalf("Marks = %+v", marks)
+	}
+	for _, m := range marks {
+		if !m.Mark || m.Dur != 0 {
+			t.Fatalf("mark event malformed: %+v", m)
+		}
+	}
+	if got := r.MarkCount("ckpt"); got != 2 {
+		t.Fatalf("MarkCount(ckpt) = %d, want 2", got)
+	}
+	if got := r.MarkCount("missing"); got != 0 {
+		t.Fatalf("MarkCount(missing) = %d, want 0", got)
+	}
+	if evs := r.Events(); len(evs) != 4 {
+		t.Fatalf("Events must include marks, got %d", len(evs))
+	}
+	if got := Merge([]*Recorder{&r}, false); len(got) != 1 || got["gemm"] != 3.0 {
+		t.Fatalf("Merge with marks = %v", got)
+	}
+}
+
 func TestEventsReturnsCopy(t *testing.T) {
 	var r Recorder
 	r.Record("a", 0, 1)

@@ -1,0 +1,128 @@
+package train
+
+// Checkpoint/restore for the distributed trainer. A checkpoint is a full
+// snapshot of training state — expert weights in global expert order,
+// the replicated dense bias, the step counter, every rank slot's data-RNG
+// state, and the network simulator's RNG state — so a restored run is
+// bit-identical to one that never stopped. Weights are stored globally
+// (not per-rank) so the same checkpoint restores onto a different world
+// size: elastic recovery reshards the surviving experts instead of
+// demanding the dead rank back.
+
+import (
+	"fmt"
+
+	"xmoe/internal/moe"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// Checkpoint is a deep snapshot of DistTrainer state.
+type Checkpoint struct {
+	// Step is the number of completed training steps.
+	Step int
+	// W1, W2 hold every expert's weights in global expert order
+	// (global expert e = rank*expertsPerRank + local index).
+	W1, W2 []*tensor.Tensor
+	// Bias is the replicated dense parameter (identical on every rank).
+	Bias []float32
+	// DataRNG holds each rank slot's input-stream state at capture time.
+	DataRNG []tensor.RNGState
+	// NetRNG is the network simulator's RNG state.
+	NetRNG uint64
+}
+
+// Checkpoint captures the trainer's full training state. Call it only
+// between steps (never while Step is running).
+func (t *DistTrainer) Checkpoint() *Checkpoint {
+	e := t.Cfg.MoE.NumExperts
+	epr := e / t.Cfg.World
+	ck := &Checkpoint{
+		Step:    t.step,
+		W1:      make([]*tensor.Tensor, e),
+		W2:      make([]*tensor.Tensor, e),
+		Bias:    append([]float32(nil), t.bias[0]...),
+		DataRNG: make([]tensor.RNGState, t.Cfg.World),
+		NetRNG:  t.cluster.Net.RNGState(),
+	}
+	for rank := 0; rank < t.Cfg.World; rank++ {
+		for le := 0; le < epr; le++ {
+			ck.W1[rank*epr+le] = t.params[rank].W1[le].Clone()
+			ck.W2[rank*epr+le] = t.params[rank].W2[le].Clone()
+		}
+		ck.DataRNG[rank] = t.dataRNG[rank].State()
+	}
+	return ck
+}
+
+// Restore rolls the trainer back to ck, resharding the global expert
+// weights onto the trainer's current world size. The world may be smaller
+// than at capture time (elastic recovery after Shrink): surviving rank
+// slots keep their data streams, and slots beyond the new world are
+// simply retired with their state still in the checkpoint.
+func (t *DistTrainer) Restore(ck *Checkpoint) error {
+	e := t.Cfg.MoE.NumExperts
+	if len(ck.W1) != e || len(ck.W2) != e {
+		return fmt.Errorf("train: checkpoint holds %d experts, trainer wants %d", len(ck.W1), e)
+	}
+	if t.Cfg.World > len(ck.DataRNG) {
+		return fmt.Errorf("train: checkpoint has %d rank slots, world is %d (elastic growth is unsupported)",
+			len(ck.DataRNG), t.Cfg.World)
+	}
+	epr := e / t.Cfg.World
+	for rank := 0; rank < t.Cfg.World; rank++ {
+		for le := 0; le < epr; le++ {
+			t.params[rank].W1[le].Copy(ck.W1[rank*epr+le])
+			t.params[rank].W2[le].Copy(ck.W2[rank*epr+le])
+		}
+		copy(t.bias[rank], ck.Bias)
+		t.dataRNG[rank].SetState(ck.DataRNG[rank])
+	}
+	t.step = ck.Step
+	t.cluster.Net.SetRNGState(ck.NetRNG)
+	return nil
+}
+
+// Shrink rebuilds the trainer for a smaller world: a fresh cluster (a
+// failed Run poisons the old one), fresh per-rank containers, and a world
+// group over the surviving ranks. It does NOT restore weights — callers
+// follow up with Restore to reshard a checkpoint onto the new layout.
+func (t *DistTrainer) Shrink(newWorld int) error {
+	if newWorld < 1 || newWorld > t.Cfg.World {
+		return fmt.Errorf("train: cannot shrink world %d to %d", t.Cfg.World, newWorld)
+	}
+	if t.Cfg.MoE.NumExperts%newWorld != 0 {
+		return fmt.Errorf("train: %d experts not divisible by shrunk world %d",
+			t.Cfg.MoE.NumExperts, newWorld)
+	}
+	cfg := t.Cfg
+	cfg.World = newWorld
+	cluster := simrt.NewCluster(cfg.Machine, cfg.World, cfg.Seed)
+	cluster.Net.DisableCongestion = true
+	cluster.Inject = t.cluster.Inject
+	t.Cfg = cfg
+	t.cluster = cluster
+	t.group = cluster.WorldGroup()
+	t.params = make([]*moe.ExpertParams, cfg.World)
+	t.bias = make([][]float32, cfg.World)
+	t.dataRNG = make([]*tensor.RNG, cfg.World)
+	epr := cfg.MoE.NumExperts / cfg.World
+	for rank := 0; rank < cfg.World; rank++ {
+		t.params[rank] = moe.NewExpertParams(tensor.NewRNG(cfg.Seed+uint64(rank)*131),
+			epr, cfg.MoE.HModel, cfg.MoE.HFFN)
+		t.bias[rank] = make([]float32, cfg.MoE.HModel)
+		t.dataRNG[rank] = tensor.NewRNG(dataSeed(cfg.Seed, rank))
+	}
+	return nil
+}
+
+// ShrinkWorld returns the largest feasible world size after failures: the
+// biggest divisor of experts that is at most survivors (0 if none).
+func ShrinkWorld(experts, survivors int) int {
+	for w := survivors; w >= 1; w-- {
+		if experts%w == 0 {
+			return w
+		}
+	}
+	return 0
+}

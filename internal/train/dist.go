@@ -72,6 +72,16 @@ type DistTrainer struct {
 	cluster *simrt.Cluster
 	group   *simrt.Group
 	params  []*moe.ExpertParams // per rank, local experts
+	// bias is the replicated dense parameter ([H] per rank, kept
+	// bit-identical across ranks by an all-reduced gradient): the smallest
+	// realistic stand-in for a model's non-expert weights, so checkpoints
+	// cover both sharded and replicated state.
+	bias [][]float32
+	// dataRNG holds each rank slot's persistent input stream. Unlike a
+	// per-step derived seed, a persistent stream makes RNG state part of
+	// the training state — exactly what checkpoint/restore must capture
+	// for a resumed run to be bit-identical to an uninterrupted one.
+	dataRNG []*tensor.RNG
 	step    int
 }
 
@@ -114,13 +124,23 @@ func NewDistTrainer(cfg DistConfig) (*DistTrainer, error) {
 		cluster: cluster,
 		group:   cluster.WorldGroup(),
 		params:  make([]*moe.ExpertParams, cfg.World),
+		bias:    make([][]float32, cfg.World),
+		dataRNG: make([]*tensor.RNG, cfg.World),
 	}
 	epr := cfg.MoE.NumExperts / cfg.World
 	for rank := 0; rank < cfg.World; rank++ {
 		t.params[rank] = moe.NewExpertParams(tensor.NewRNG(cfg.Seed+uint64(rank)*131),
 			epr, cfg.MoE.HModel, cfg.MoE.HFFN)
+		t.bias[rank] = make([]float32, cfg.MoE.HModel)
+		t.dataRNG[rank] = tensor.NewRNG(dataSeed(cfg.Seed, rank))
 	}
 	return t, nil
+}
+
+// dataSeed derives rank slot r's input-stream seed. Streams belong to the
+// slot, not the step: a rank surviving an elastic shrink keeps its stream.
+func dataSeed(seed uint64, rank int) uint64 {
+	return seed ^ (uint64(rank)*2654435761 + 0x9e3779b9)
 }
 
 // Params returns rank's expert weights (for inspection and tests).
@@ -132,7 +152,6 @@ func (t *DistTrainer) Params(rank int) *moe.ExpertParams { return t.params[rank]
 func (t *DistTrainer) Step() (DistStepStats, error) {
 	cfg := t.Cfg
 	s, h := cfg.Tokens, cfg.MoE.HModel
-	step := t.step
 	t.step++
 
 	var mu sync.Mutex
@@ -140,14 +159,24 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 	recs := make([]*trace.Recorder, cfg.World)
 	clocks := make([]float64, cfg.World)
 	err := t.cluster.Run(func(r *simrt.Rank) error {
-		// Deterministic per-(rank, step) inputs: the streams are
-		// independent of the overlap setting, so chunked and blocking
-		// runs see identical data.
-		rng := tensor.NewRNG(cfg.Seed ^ (uint64(r.ID)*2654435761 + uint64(step)*40503))
+		idx := t.group.IndexOf(r.ID)
+		// Record the clock even when the step aborts mid-collective: a
+		// failed attempt's partial wall time is real lost work and the
+		// fault-tolerant loop charges it against goodput.
+		defer func() {
+			mu.Lock()
+			clocks[idx] = r.Clock
+			mu.Unlock()
+		}()
+		// Deterministic per-rank input streams, consumed identically by
+		// every transport and chunk count, so chunked and blocking runs
+		// see identical data.
+		rng := t.dataRNG[idx]
 		x := tensor.Randn(rng, 0.5, s, h)
 		target := tensor.Randn(rng, 0.5, s, h)
 		routing := moe.SyntheticRouting(rng, s, cfg.MoE.NumExperts, cfg.MoE.TopK, 0.6)
-		params := t.params[t.group.IndexOf(r.ID)]
+		params := t.params[idx]
+		bias := t.bias[idx]
 
 		var out *tensor.Tensor
 		var dropped int
@@ -167,12 +196,12 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 			}
 		}
 
-		// MSE loss and its gradient.
+		// MSE loss (over the biased output) and its gradient.
 		var localLoss float64
 		dOut := tensor.New(s, h)
 		inv := float32(2 / float64(s*h))
 		for i, v := range out.Data {
-			d := v - target.Data[i]
+			d := v + bias[i%h] - target.Data[i]
 			localLoss += float64(d) * float64(d)
 			dOut.Data[i] = d * inv
 		}
@@ -180,12 +209,20 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 
 		grads := bwd(dOut)
 
-		// Loss all-reduce (reporting), as a training loop would issue
-		// between steps; expert weights are rank-local under pure EP, so
-		// the weight gradients need no synchronisation.
-		sum := r.AllReduce(t.group, "loss_allreduce", []float32{float32(localLoss)}, 4)
+		// Dense all-reduce: the scalar loss (reporting) rides with the
+		// replicated bias gradient, bucketed into one collective as a
+		// training loop would. Expert weights are rank-local under pure
+		// EP, so the expert gradients need no synchronisation.
+		dense := make([]float32, 1+h)
+		dense[0] = float32(localLoss)
+		for i, g := range dOut.Data {
+			dense[1+i%h] += g
+		}
+		sum := r.AllReduce(t.group, "dense_allreduce", dense, int64(4*(1+h)))
 
-		// Local SGD on the expert weights.
+		// Local SGD on the expert weights, replicated SGD on the bias
+		// (every rank applies the identical all-reduced gradient, keeping
+		// the dense parameter bit-identical across ranks).
 		lr := float32(cfg.LR)
 		for le := range params.W1 {
 			for j, g := range grads.DW1[le].Data {
@@ -195,17 +232,26 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 				params.W2[le].Data[j] -= lr * g
 			}
 		}
+		invW := float32(1 / float64(cfg.World))
+		for j := range bias {
+			bias[j] -= lr * sum[1+j] * invW
+		}
 
 		mu.Lock()
 		stats.Loss = float64(sum[0]) / float64(cfg.World)
 		stats.Dropped += dropped
-		recs[t.group.IndexOf(r.ID)] = r.Trace
-		clocks[t.group.IndexOf(r.ID)] = r.Clock
+		recs[idx] = r.Trace
 		mu.Unlock()
 		return nil
 	})
 	if err != nil {
-		return DistStepStats{}, err
+		partial := DistStepStats{}
+		for _, c := range clocks {
+			if c > partial.WallClock {
+				partial.WallClock = c
+			}
+		}
+		return partial, err
 	}
 	for _, c := range clocks {
 		if c > stats.WallClock {

@@ -2,6 +2,7 @@ package train
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"xmoe/internal/moe"
@@ -123,5 +124,43 @@ func TestDistTrainerBreakdownSumsToWallClock(t *testing.T) {
 		if stats.MaxImbalance > 1e-9 {
 			t.Fatalf("step %d: a rank's charged spans miss its clock by %.12f", i, stats.MaxImbalance)
 		}
+	}
+}
+
+// TestDistConfigCheckRejects pins every rejection path of
+// DistConfig.Check, including propagation of PipelineOpts.Check.
+func TestDistConfigCheckRejects(t *testing.T) {
+	mk := func(mut func(*DistConfig)) DistConfig {
+		cfg := distTrainerConfig("pft", 1)
+		mut(&cfg)
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  DistConfig
+		want string
+	}{
+		{"unknown transport", mk(func(c *DistConfig) { c.Transport = "rdma" }), "unknown transport"},
+		{"empty transport", mk(func(c *DistConfig) { c.Transport = "" }), "unknown transport"},
+		{"zero world", mk(func(c *DistConfig) { c.World = 0 }), "must be positive"},
+		{"zero tokens", mk(func(c *DistConfig) { c.Tokens = 0 }), "must be positive"},
+		{"indivisible experts", mk(func(c *DistConfig) { c.World = 3 }), "not divisible"},
+		{"bad opts propagate", mk(func(c *DistConfig) { c.Opts.OverlapChunks = -2 }), "OverlapChunks"},
+	}
+	for _, c := range cases {
+		err := c.cfg.Check()
+		if err == nil {
+			t.Errorf("%s: Check accepted the config", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if _, err := NewDistTrainer(c.cfg); err == nil {
+			t.Errorf("%s: NewDistTrainer accepted the config", c.name)
+		}
+	}
+	if err := distTrainerConfig("padded", 4).Check(); err != nil {
+		t.Errorf("Check rejected a valid config: %v", err)
 	}
 }

@@ -1,0 +1,178 @@
+package train
+
+// The fault-tolerant training loop: run steps under a fault.Injector,
+// checkpoint on an interval, and on a crash roll back to the last
+// checkpoint, rebuild the cluster without the dead ranks (elastic shrink
+// to the largest expert-divisible world), and continue. Accounting
+// follows the goodput convention: wall-clock accumulates everything —
+// useful steps, checkpoint writes, failed partial attempts, and replayed
+// steps — while useful time counts each step index once, at the cost of
+// the attempt whose result survived.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"xmoe/internal/fault"
+	"xmoe/internal/simrt"
+	"xmoe/internal/trace"
+)
+
+// FTOptions configures RunFaultTolerant.
+type FTOptions struct {
+	// Steps is the number of useful training steps to complete.
+	Steps int
+	// CkptEvery checkpoints after every N useful steps (0 = only the
+	// implicit step-0 checkpoint, i.e. restart from scratch on failure).
+	CkptEvery int
+	// Plan is the deterministic fault schedule.
+	Plan fault.Plan
+	// CkptCost is the simulated seconds charged per checkpoint write;
+	// 0 derives it from the parameter bytes over the machine's NIC
+	// bandwidth (weights stream off-node to stable storage).
+	CkptCost float64
+	// Rec, when non-nil, receives zero-duration marks for faults,
+	// checkpoints, and recoveries at their wall-clock positions.
+	Rec *trace.Recorder
+}
+
+// FTStats reports a fault-tolerant run.
+type FTStats struct {
+	// Steps is the number of useful steps completed.
+	Steps int
+	// Recoveries counts rollback/rebuild cycles.
+	Recoveries int
+	// ReplayedSteps counts steps whose first result was lost to a
+	// rollback and had to run again.
+	ReplayedSteps int
+	// FinalWorld is the world size at the end (shrinks on crashes).
+	FinalWorld int
+	// FinalLoss is the last useful step's loss.
+	FinalLoss float64
+	// UsefulTime is the per-step time summed over surviving attempts.
+	UsefulTime float64
+	// CkptTime is the total simulated checkpoint-write time.
+	CkptTime float64
+	// LostTime is wall-clock spent on work a rollback discarded (failed
+	// partial attempts plus first runs of replayed steps).
+	LostTime float64
+	// WallClock is the total simulated time including all of the above.
+	WallClock float64
+	// Goodput is UsefulTime / WallClock.
+	Goodput float64
+}
+
+// CkptCost returns the simulated checkpoint-write time for the trainer's
+// model on its machine: all parameter bytes (expert weights f32 plus the
+// dense bias) streamed off-node at NIC bandwidth.
+func (t *DistTrainer) CkptCost() float64 {
+	m := t.Cfg.MoE
+	bytes := int64(m.NumExperts) * int64(m.HModel) * int64(m.HFFN) * 2 * 4
+	bytes += int64(m.HModel) * 4
+	return float64(bytes) / t.Cfg.Machine.NodeNICBandwidth
+}
+
+// RunFaultTolerant trains for o.Steps useful steps under o.Plan's faults.
+// Crashes trigger recovery: roll back to the last checkpoint, shrink the
+// world to the surviving ranks (largest divisor of the expert count),
+// reshard weights, and continue. Non-crash failures are returned as-is.
+// The same options against the same trainer configuration produce
+// bit-identical final weights and stats — faults included.
+func (t *DistTrainer) RunFaultTolerant(o FTOptions) (FTStats, error) {
+	if o.Steps < 1 {
+		return FTStats{}, fmt.Errorf("train: fault-tolerant run needs steps >= 1, got %d", o.Steps)
+	}
+	inj := fault.NewInjector(o.Plan, t.Cfg.World)
+	t.cluster.Inject = inj
+	ckptCost := o.CkptCost
+	if ckptCost == 0 {
+		ckptCost = t.CkptCost()
+	}
+
+	st := FTStats{FinalWorld: t.Cfg.World}
+	useful := make([]float64, o.Steps)
+	var wall float64
+	mark := func(name string) {
+		if o.Rec != nil {
+			o.Rec.Mark(name, wall)
+		}
+	}
+
+	ck := t.Checkpoint()
+	wall += ckptCost
+	st.CkptTime += ckptCost
+	mark(fmt.Sprintf("ckpt step=%d", ck.Step))
+
+	for t.step < o.Steps {
+		step := t.step
+		inj.Arm(step, wall)
+		t.cluster.Net.LinkDerate = inj.LinkDerates(step)
+		stats, err := t.Step()
+		if err == nil {
+			wall += stats.WallClock
+			if useful[step] > 0 {
+				st.LostTime += useful[step] // first attempt's result was rolled back
+			} else {
+				st.Steps++
+			}
+			useful[step] = stats.WallClock
+			st.FinalLoss = stats.Loss
+			if o.CkptEvery > 0 && t.step%o.CkptEvery == 0 && t.step < o.Steps {
+				ck = t.Checkpoint()
+				wall += ckptCost
+				st.CkptTime += ckptCost
+				mark(fmt.Sprintf("ckpt step=%d", ck.Step))
+			}
+			continue
+		}
+
+		// The failed attempt's partial time is lost work.
+		wall += stats.WallClock
+		st.LostTime += stats.WallClock
+		if !errors.Is(err, simrt.ErrRankCrashed) {
+			return st, fmt.Errorf("train: unrecoverable step failure: %w", err)
+		}
+		crashed := crashedRanks(t.cluster.FailedRanks())
+		mark(fmt.Sprintf("fault crash=%v step=%d", crashed, step))
+		survivors := t.Cfg.World - len(crashed)
+		newWorld := ShrinkWorld(t.Cfg.MoE.NumExperts, survivors)
+		if newWorld < 1 {
+			return st, fmt.Errorf("train: no survivors after crash of ranks %v: %w", crashed, err)
+		}
+		st.Recoveries++
+		st.ReplayedSteps += step - ck.Step
+		if serr := t.Shrink(newWorld); serr != nil {
+			return st, serr
+		}
+		if rerr := t.Restore(ck); rerr != nil {
+			return st, rerr
+		}
+		// Restart-from-checkpoint cost: reading the snapshot back is the
+		// same traffic as writing it.
+		wall += ckptCost
+		st.CkptTime += ckptCost
+		st.FinalWorld = newWorld
+		mark(fmt.Sprintf("recover world=%d step=%d", newWorld, ck.Step))
+	}
+
+	for _, d := range useful {
+		st.UsefulTime += d
+	}
+	st.WallClock = wall
+	st.Goodput = fault.Goodput(st.UsefulTime, wall)
+	return st, nil
+}
+
+// crashedRanks extracts the ranks that failed with an injected crash (as
+// opposed to aborting because a peer failed), sorted for determinism.
+func crashedRanks(failed map[int]error) []int {
+	var out []int
+	for r, err := range failed {
+		if errors.Is(err, simrt.ErrRankCrashed) {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

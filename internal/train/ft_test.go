@@ -1,0 +1,241 @@
+package train
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"xmoe/internal/fault"
+	"xmoe/internal/simrt"
+	"xmoe/internal/trace"
+)
+
+// weightsEqual compares every expert weight and the bias bit-for-bit.
+func weightsEqual(t *testing.T, a, b *DistTrainer, label string) {
+	t.Helper()
+	if a.Cfg.World != b.Cfg.World {
+		t.Fatalf("%s: world %d vs %d", label, a.Cfg.World, b.Cfg.World)
+	}
+	for rank := 0; rank < a.Cfg.World; rank++ {
+		ap, bp := a.Params(rank), b.Params(rank)
+		for le := range ap.W1 {
+			for j := range ap.W1[le].Data {
+				if ap.W1[le].Data[j] != bp.W1[le].Data[j] {
+					t.Fatalf("%s: rank %d W1[%d][%d] diverged", label, rank, le, j)
+				}
+			}
+			for j := range ap.W2[le].Data {
+				if ap.W2[le].Data[j] != bp.W2[le].Data[j] {
+					t.Fatalf("%s: rank %d W2[%d][%d] diverged", label, rank, le, j)
+				}
+			}
+		}
+		for j := range a.bias[rank] {
+			if a.bias[rank][j] != b.bias[rank][j] {
+				t.Fatalf("%s: rank %d bias[%d] diverged", label, rank, j)
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeBitIdentical is the core checkpoint contract: train
+// 3 steps, checkpoint, train 3 more; a second trainer restored from the
+// checkpoint and trained the same 3 steps ends with bit-identical weights
+// and losses — the snapshot captures everything, RNG streams included.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	a, err := NewDistTrainer(distTrainerConfig("pft", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck := a.Checkpoint()
+	if ck.Step != 3 {
+		t.Fatalf("checkpoint at step %d, want 3", ck.Step)
+	}
+	var tail []float64
+	for i := 0; i < 3; i++ {
+		stats, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, stats.Loss)
+	}
+
+	b, err := NewDistTrainer(distTrainerConfig("pft", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		stats, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Loss != tail[i] {
+			t.Fatalf("resumed step %d loss %v != uninterrupted %v", i, stats.Loss, tail[i])
+		}
+	}
+	weightsEqual(t, a, b, "resume")
+
+	// Restoring must also roll BACK: b trains past the checkpoint, then
+	// returns to it and replays to the same weights again.
+	if err := b.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	weightsEqual(t, a, b, "rollback-replay")
+}
+
+// TestCheckpointRestoreRejects pins Restore's validation.
+func TestCheckpointRestoreRejects(t *testing.T) {
+	a, _ := NewDistTrainer(distTrainerConfig("pft", 1))
+	ck := a.Checkpoint()
+	ck.W1 = ck.W1[:4]
+	if err := a.Restore(ck); err == nil {
+		t.Fatal("expert-count mismatch must be rejected")
+	}
+	ck = a.Checkpoint()
+	ck.DataRNG = ck.DataRNG[:2]
+	if err := a.Restore(ck); err == nil {
+		t.Fatal("elastic growth must be rejected")
+	}
+}
+
+// TestShrinkWorld pins the elastic sizing rule.
+func TestShrinkWorld(t *testing.T) {
+	for _, c := range []struct{ e, s, want int }{
+		{8, 3, 2}, {8, 4, 4}, {8, 7, 4}, {12, 5, 4}, {8, 1, 1}, {8, 0, 0},
+	} {
+		if got := ShrinkWorld(c.e, c.s); got != c.want {
+			t.Fatalf("ShrinkWorld(%d, %d) = %d, want %d", c.e, c.s, got, c.want)
+		}
+	}
+}
+
+// TestRunFaultTolerantRecoversFromCrash: a planned crash mid-run triggers
+// rollback to the last checkpoint and an elastic shrink, and the run
+// still completes all useful steps. The whole schedule is deterministic:
+// a second identical run produces bit-identical weights and stats.
+func TestRunFaultTolerantRecoversFromCrash(t *testing.T) {
+	run := func() (*DistTrainer, FTStats, *trace.Recorder) {
+		tr, err := NewDistTrainer(distTrainerConfig("pft", 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := fault.ParsePlan("crash:r1@s5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &trace.Recorder{}
+		st, err := tr.RunFaultTolerant(FTOptions{Steps: 6, CkptEvery: 3, Plan: plan, Rec: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, st, rec
+	}
+	tr1, st1, rec := run()
+	if st1.Steps != 6 {
+		t.Fatalf("completed %d useful steps, want 6", st1.Steps)
+	}
+	if st1.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", st1.Recoveries)
+	}
+	// With CkptEvery=3 the last checkpoint lands after step 2 (at step
+	// counter 3); the crash during step 5 rolls back to it, so steps 3
+	// and 4 run twice.
+	if st1.ReplayedSteps != 2 {
+		t.Fatalf("replayed %d steps, want 2", st1.ReplayedSteps)
+	}
+	// 4 ranks, one dead: largest divisor of 8 experts <= 3 survivors is 2.
+	if st1.FinalWorld != 2 {
+		t.Fatalf("final world = %d, want 2", st1.FinalWorld)
+	}
+	if st1.Goodput <= 0 || st1.Goodput >= 1 {
+		t.Fatalf("goodput = %v, want in (0, 1)", st1.Goodput)
+	}
+	// Accounting identity: wall-clock decomposes exactly.
+	total := st1.UsefulTime + st1.CkptTime + st1.LostTime
+	if math.Abs(total-st1.WallClock) > 1e-9*st1.WallClock {
+		t.Fatalf("useful %v + ckpt %v + lost %v != wall %v",
+			st1.UsefulTime, st1.CkptTime, st1.LostTime, st1.WallClock)
+	}
+	if st1.LostTime <= 0 {
+		t.Fatal("a crash mid-run must lose some work")
+	}
+	// Fault, checkpoint, and recovery events land in the trace as marks.
+	if rec.MarkCount("fault crash=[1] step=5") != 1 {
+		t.Fatalf("missing fault mark; marks: %v", rec.Marks())
+	}
+	if rec.MarkCount("recover world=2 step=3") != 1 {
+		t.Fatalf("missing recovery mark; marks: %v", rec.Marks())
+	}
+
+	tr2, st2, _ := run()
+	weightsEqual(t, tr1, tr2, "fault-tolerant determinism")
+	if st1 != st2 {
+		t.Fatalf("stats diverged across identical runs:\n%+v\nvs\n%+v", st1, st2)
+	}
+}
+
+// TestRunFaultTolerantSurvivesChaos drives the full stack — crashes,
+// stragglers, flaky collectives, and a degraded link in one plan — and
+// must finish every step without deadlock, with sane accounting. This is
+// the `make chaos-fast` entry point.
+func TestRunFaultTolerantSurvivesChaos(t *testing.T) {
+	spec := "crash:r3@s2,straggler:r0@s0:x3:n4,flaky:r2@s1:t0.001:n3,link:inter@s3:x8:n2,crash:r1@s7"
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewDistTrainer(distTrainerConfig("pft", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.RunFaultTolerant(FTOptions{Steps: 10, CkptEvery: 3, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 10 {
+		t.Fatalf("completed %d useful steps, want 10", st.Steps)
+	}
+	if st.Recoveries != 2 {
+		t.Fatalf("recoveries = %d, want 2 (two planned crashes)", st.Recoveries)
+	}
+	// First crash: 4 ranks -> 3 survivors -> world 2. Second crash kills
+	// rank 1 of the remaining 2 -> world 1.
+	if st.FinalWorld != 1 {
+		t.Fatalf("final world = %d, want 1 after two crashes from 4", st.FinalWorld)
+	}
+	if math.IsNaN(st.FinalLoss) || math.IsInf(st.FinalLoss, 0) {
+		t.Fatal("final loss not finite")
+	}
+	if st.Goodput <= 0 || st.Goodput >= 1 {
+		t.Fatalf("goodput = %v", st.Goodput)
+	}
+}
+
+// TestRunFaultTolerantNoSurvivors: killing every rank is unrecoverable
+// and must surface the crash error rather than loop or deadlock.
+func TestRunFaultTolerantNoSurvivors(t *testing.T) {
+	cfg := distTrainerConfig("pft", 1)
+	cfg.World = 1
+	tr, err := NewDistTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := fault.ParsePlan("crash:r0@s1")
+	_, err = tr.RunFaultTolerant(FTOptions{Steps: 4, CkptEvery: 1, Plan: plan})
+	if err == nil || !errors.Is(err, simrt.ErrRankCrashed) {
+		t.Fatalf("want unrecoverable crash error, got %v", err)
+	}
+}
