@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full chaos-fast bench bench-figs bench-json bench-save ci
+.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -37,10 +37,21 @@ race:
 race-fast:
 	$(GO) test -race ./internal/tensor ./internal/simrt ./internal/netsim \
 		./internal/trace ./internal/moe ./internal/kernels ./internal/rbd \
-		./internal/collective ./internal/train ./internal/fault
+		./internal/collective ./internal/train ./internal/fault \
+		./internal/devent ./internal/topology
 
 # Kept as an alias for the historical target name.
 race-full: race
+
+# Event-engine verification gate: the analytic/event cross-validation
+# suite (flat-topology exactness to 1e-12 s, byte-accounting identities,
+# contention divergence on rail graphs, derate plumbing) plus the
+# determinism tests (identical seeds + concurrent collectives must give
+# bit-identical event logs and clocks), all under the race detector.
+verify-devent:
+	$(GO) test -race ./internal/devent ./internal/topology
+	$(GO) test -race -run 'Engine|ConcurrentCollectives|CommHandleOverlap|SetLinkDerate' \
+		./internal/simrt
 
 # Chaos pass: the seeded fault-injection suite under the race detector —
 # rank crashes mid-collective, stragglers, flaky retries, degraded links,
@@ -66,7 +77,7 @@ bench-json:
 # the acceptance configuration) for the simulated speedups.
 bench-save:
 	$(GO) run ./cmd/xmoe-bench -quick -json -experiment fig10a,fig10b,fig11,fig12
-	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd,abl-faults
+	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd,abl-faults,abl-engine-delta
 	@echo "BENCH_results.json updated; commit it with this PR"
 
 # Quick CI: vet + build + race tests on the fast packages + the chaos

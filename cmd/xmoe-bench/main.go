@@ -27,6 +27,7 @@ import (
 
 	"xmoe/internal/bench"
 	"xmoe/internal/moe"
+	"xmoe/internal/topology"
 )
 
 var experiments = map[string]func(w io.Writer, opts bench.Options){
@@ -48,12 +49,13 @@ var experiments = map[string]func(w io.Writer, opts bench.Options){
 	"fig20":  func(w io.Writer, o bench.Options) { bench.Figure20DepthTopK(w, o) },
 	"appc1":  func(w io.Writer, o bench.Options) { bench.AppendixC1Placement(w) },
 	// Ablations beyond the paper's figures (design choices of §4).
-	"abl-pilot":       func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
-	"abl-capacity":    func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
-	"abl-rbd-ep":      func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
-	"abl-overlap":     func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
-	"abl-overlap-bwd": func(w io.Writer, o bench.Options) { bench.AblationOverlapBackward(w, o) },
-	"abl-faults":      func(w io.Writer, o bench.Options) { bench.AblationFaults(w, o) },
+	"abl-pilot":        func(w io.Writer, o bench.Options) { bench.AblationPilotSelection(w, o) },
+	"abl-capacity":     func(w io.Writer, o bench.Options) { bench.AblationCapacityFactor(w, o) },
+	"abl-rbd-ep":       func(w io.Writer, o bench.Options) { bench.AblationRBDByEPSize(w, o) },
+	"abl-overlap":      func(w io.Writer, o bench.Options) { bench.AblationOverlap(w, o) },
+	"abl-overlap-bwd":  func(w io.Writer, o bench.Options) { bench.AblationOverlapBackward(w, o) },
+	"abl-faults":       func(w io.Writer, o bench.Options) { bench.AblationFaults(w, o) },
+	"abl-engine-delta": func(w io.Writer, o bench.Options) { bench.AblationEngineDelta(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
@@ -61,7 +63,7 @@ var order = []string{
 	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
 	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap", "abl-overlap-bwd",
-	"abl-faults",
+	"abl-faults", "abl-engine-delta",
 }
 
 // jsonRecord is one experiment's machine-readable result.
@@ -73,9 +75,12 @@ type jsonRecord struct {
 	// Simulated holds the experiment's headline simulated metrics
 	// (e.g. TFLOPs/GPU, layer forward ms), keyed by metric name.
 	Simulated map[string]float64 `json:"simulated,omitempty"`
-	Quick     bool               `json:"quick"`
-	Seed      uint64             `json:"seed"`
-	Timestamp string             `json:"timestamp"`
+	// Engine is the cost engine the simulated metrics are attributable
+	// to: "analytic" or an "event:*" topology-graph engine.
+	Engine    string `json:"engine"`
+	Quick     bool   `json:"quick"`
+	Seed      uint64 `json:"seed"`
+	Timestamp string `json:"timestamp"`
 }
 
 const jsonPath = "BENCH_results.json"
@@ -114,7 +119,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonOut := flag.Bool("json", false, "benchmark each experiment and append machine-readable results to "+jsonPath)
 	chunksFlag := flag.String("chunks", "", "comma-separated chunk counts for the overlap ablations (default 1,2,4,8; the C=1 blocking baseline is always included)")
+	engine := flag.String("engine", "analytic", "cost engine for engine-aware experiments ("+bench.EngineSpecs+")")
 	flag.Parse()
+
+	// Validate -engine up front (experiments panic on a bad spec).
+	if _, err := bench.NewEngine(topology.Frontier(), 8, *engine); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	engineName := *engine
+	if engineName == "" {
+		engineName = "analytic"
+	}
 
 	// Validate the flag-derived overlap options up front so the user sees
 	// the descriptive PipelineOpts.Check error, not a rank panic.
@@ -144,7 +160,7 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Seed: *seed, Quick: *quick, Chunks: chunks}
+	opts := bench.Options{Seed: *seed, Quick: *quick, Chunks: chunks, Engine: *engine}
 	var records []jsonRecord
 	run := func(name string) {
 		fn, ok := experiments[name]
@@ -169,6 +185,7 @@ func main() {
 				AllocsPerOp: res.AllocsPerOp(),
 				BytesPerOp:  res.AllocedBytesPerOp(),
 				Simulated:   bench.DrainMetrics(),
+				Engine:      engineName,
 				Quick:       *quick,
 				Seed:        *seed,
 				Timestamp:   start.UTC().Format(time.RFC3339),

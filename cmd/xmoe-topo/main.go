@@ -19,6 +19,7 @@ func main() {
 	gpus := flag.Int("gpus", 64, "GPU count for the collective cost table")
 	bytes := flag.Int64("bytes", 32<<20, "per-rank payload for the collective cost table")
 	characterise := flag.Bool("characterize", false, "run the Appendix-D all-to-all characterisation (Figs. 18/19)")
+	graph := flag.String("graph", "", "print the event-engine topology graph instead: flat, rail, or noc")
 	seed := flag.Uint64("seed", 42, "congestion sampling seed")
 	flag.Parse()
 
@@ -31,6 +32,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
 		os.Exit(2)
+	}
+
+	if *graph != "" {
+		printGraph(m, *graph, *gpus)
+		return
 	}
 
 	fmt.Printf("machine %s: %d GPUs/node (%d per fast pair), %d nodes/rack\n",
@@ -66,5 +72,68 @@ func main() {
 
 	if *characterise {
 		bench.Figure18AlltoAllScaling(os.Stdout, bench.Options{Seed: *seed})
+	}
+}
+
+// printGraph renders an event-engine topology graph: every link with its
+// sharing discipline, plus sample routes spanning each hierarchy level.
+func printGraph(m *topology.Machine, kind string, gpus int) {
+	var g *topology.Graph
+	switch kind {
+	case "flat":
+		if gpus > m.GPUsPerNode {
+			// FlatGraph models a single node; build the synthetic
+			// all-uniform machine netsim's flat tests use instead.
+			g = topology.FlatGraph(topology.Flat(gpus), gpus)
+		} else {
+			g = topology.FlatGraph(m, gpus)
+		}
+	case "rail":
+		g = topology.RailGraph(m, gpus, 0)
+	case "noc":
+		g = topology.NoCGraph(m, gpus, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown graph %q (want flat, rail, or noc)\n", kind)
+		os.Exit(2)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("graph %s: %d ranks on %s, %d links (engine \"event:%s\")\n",
+		g.Name, g.NumRanks, g.M.Name, len(g.Links), g.Name)
+	fmt.Printf("\n%-4s %-12s %-12s %-9s %10s %9s\n", "id", "name", "class", "sharing", "GB/s", "α (µs)")
+	for _, l := range g.Links {
+		sharing := "port"
+		if l.Shared {
+			sharing = "shared"
+		}
+		bw := "class"
+		if !l.ClassBound {
+			bw = fmt.Sprintf("%.0f", l.Bandwidth/1e9)
+		}
+		lat := "class"
+		if !l.ClassBound {
+			lat = fmt.Sprintf("%.1f", l.Latency*1e6)
+		}
+		fmt.Printf("%-4d %-12s %-12s %-9s %10s %9s\n", l.ID, l.Name, l.Class, sharing, bw, lat)
+	}
+
+	fmt.Println("\nsample routes:")
+	samples := [][2]int{{0, 1}}
+	if n := g.NumRanks; n > m.GPUsPerPair {
+		samples = append(samples, [2]int{0, m.GPUsPerPair}) // cross-pair
+	}
+	if n := g.NumRanks; n > m.GPUsPerNode {
+		samples = append(samples, [2]int{0, n - 1}) // inter-node (last rank)
+	}
+	for _, s := range samples {
+		route := g.Route(s[0], s[1], nil)
+		names := make([]string, len(route))
+		for i, id := range route {
+			names[i] = g.Link(id).Name
+		}
+		fmt.Printf("  %3d -> %-3d  %v\n", s[0], s[1], names)
 	}
 }

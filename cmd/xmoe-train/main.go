@@ -91,8 +91,11 @@ func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
 	}
 }
 
-// runDist executes the distributed-trainer comparison.
-func runDist(transport string, world, tokens, overlap, iters int, seed uint64) {
+// runDist executes the distributed-trainer comparison. engine selects the
+// cost engine for the timing-at-scale replay (bench.NewEngine vocabulary);
+// the numeric loss runs always use the analytic fast path, which the
+// event engine is cross-validated against.
+func runDist(transport string, world, tokens, overlap, iters int, seed uint64, engine string) {
 	sh := model.Small()
 	mk := func(chunks int) train.DistConfig {
 		return train.DistConfig{
@@ -171,9 +174,14 @@ func runDist(transport string, world, tokens, overlap, iters int, seed uint64) {
 		NumExperts: 64, TopK: 6, HModel: 4096, HFFN: 2048,
 		CapacityFactor: 1.25, BytesPerElem: 2,
 	}
-	fmt.Printf("\ntiming at scale (symbolic fwd+bwd step, H=%d, EP=%d):\n", symCfg.HModel, symWorld)
-	symBlock := bench.StepClock(topology.Frontier(), symCfg, symWorld, symTokens, transport, 1, 1, seed)
-	symChunk := bench.StepClock(topology.Frontier(), symCfg, symWorld, symTokens, transport, overlap, overlap, seed)
+	engName := engine
+	if engName == "" {
+		engName = "analytic"
+	}
+	fmt.Printf("\ntiming at scale (symbolic fwd+bwd step, H=%d, EP=%d, engine %s):\n",
+		symCfg.HModel, symWorld, engName)
+	symBlock := bench.StepClock(topology.Frontier(), symCfg, symWorld, symTokens, transport, 1, 1, seed, engine)
+	symChunk := bench.StepClock(topology.Frontier(), symCfg, symWorld, symTokens, transport, overlap, overlap, seed, engine)
 	fmt.Printf("  blocking %.3fms, C=%d %.3fms (%.2fx)\n",
 		symBlock*1e3, overlap, symChunk*1e3, symBlock/symChunk)
 }
@@ -193,6 +201,7 @@ func main() {
 	faults := flag.String("faults", "", "distributed mode: deterministic fault plan, e.g. 'crash:r1@s4,straggler:r0@s0:x2' (implies fault-tolerant run)")
 	mtbf := flag.Float64("mtbf", 0, "distributed mode: draw Poisson crash arrivals with this mean-time-between-failures in simulated seconds (implies fault-tolerant run)")
 	ckptEvery := flag.Int("ckpt-every", 5, "fault-tolerant mode: checkpoint every N steps")
+	engine := flag.String("engine", "analytic", "distributed mode: cost engine for the timing-at-scale replay ("+bench.EngineSpecs+")")
 	flag.Parse()
 
 	if *dist {
@@ -201,7 +210,11 @@ func main() {
 				*faults, *mtbf, *ckptEvery)
 			return
 		}
-		runDist(*transport, *world, *tokens, *overlap, *distIters, *seed)
+		if _, err := bench.NewEngine(topology.Frontier(), *world, *engine); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runDist(*transport, *world, *tokens, *overlap, *distIters, *seed, *engine)
 		return
 	}
 

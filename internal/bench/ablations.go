@@ -207,6 +207,7 @@ func AblationOverlap(w io.Writer, opts Options) []AblationOverlapResult {
 		run := func(pipe string, chunks int) float64 {
 			c := simrt.NewCluster(m, p.ep, opts.Seed)
 			c.Net.DisableCongestion = true
+			opts.applyEngine(c)
 			g := c.WorldGroup()
 			var d *rbd.Dispatcher
 			if pipe == "rbd" {
@@ -307,8 +308,8 @@ func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwar
 	for _, pipe := range []string{"pft", "padded"} {
 		res := AblationOverlapBackwardResult{Pipeline: pipe, EP: ep, Chunks: chunkCounts}
 		for _, chunks := range chunkCounts {
-			res.FwdOnlyMs = append(res.FwdOnlyMs, StepClock(m, cfg, ep, s, pipe, chunks, 1, opts.Seed)*1e3)
-			res.FwdBwdMs = append(res.FwdBwdMs, StepClock(m, cfg, ep, s, pipe, chunks, chunks, opts.Seed)*1e3)
+			res.FwdOnlyMs = append(res.FwdOnlyMs, StepClock(m, cfg, ep, s, pipe, chunks, 1, opts.Seed, opts.Engine)*1e3)
+			res.FwdBwdMs = append(res.FwdBwdMs, StepClock(m, cfg, ep, s, pipe, chunks, chunks, opts.Seed, opts.Engine)*1e3)
 		}
 		out = append(out, res)
 
@@ -344,12 +345,14 @@ func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwar
 // with independent forward/backward overlap chunk counts, and returns
 // the simulated wall-clock of the slowest rank. It is the shared harness
 // behind AblationOverlapBackward and xmoe-train's "timing at scale"
-// report, so the two always measure the same regime.
+// report, so the two always measure the same regime. engine names the
+// cost engine per NewEngine ("" or "analytic" for the fast path).
 func StepClock(m *topology.Machine, cfg moe.Config, world, s int, transport string,
-	fwdChunks, bwdChunks int, seed uint64) float64 {
+	fwdChunks, bwdChunks int, seed uint64, engine string) float64 {
 
 	c := simrt.NewCluster(m, world, seed)
 	c.Net.DisableCongestion = true
+	Options{Engine: engine}.applyEngine(c)
 	g := c.WorldGroup()
 	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
 		rng := tensor.NewRNG(seed + uint64(r.ID))

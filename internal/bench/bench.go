@@ -23,6 +23,12 @@ type Options struct {
 	// Chunks overrides the chunk counts the overlap ablations sweep
 	// (default {1, 2, 4, 8}); entries must pass PipelineOpts.Check.
 	Chunks []int
+	// Engine selects the collective cost engine the simulated clusters
+	// run against: "analytic" (or empty, the memoized fast path),
+	// "event"/"event:rail" (link-level transfers over the 2-level
+	// node/rail graph), or "event:noc" (NoC-style hierarchy). See
+	// NewEngine for the full vocabulary.
+	Engine string
 }
 
 // DefaultOptions returns the seed used for all published outputs.

@@ -1,0 +1,313 @@
+package devent
+
+import (
+	"math"
+
+	"xmoe/internal/netsim"
+	"xmoe/internal/topology"
+)
+
+// flowSpec describes one point-to-point transfer of a decomposed
+// collective before simulation: source and destination global ranks, the
+// payload, and the flows (indices into the same plan) that must finish
+// before this one may start.
+type flowSpec struct {
+	src, dst int
+	bytes    int64
+	deps     []int32
+}
+
+// collective kind tags folded into memo keys.
+const (
+	kindAlltoAllV uint64 = iota + 1
+	kindAllReduce
+	kindAllGather
+	kindReduceScatter
+	kindBroadcast
+	kindBarrier
+)
+
+func zeroCost() netsim.Cost {
+	return netsim.Cost{BytesByClass: map[topology.LinkClass]int64{}}
+}
+
+// AlltoAllV lowers an uneven all-to-all into per-source serialized chains:
+// source i sends to itself first, then to (i+1), (i+2), ... mod p in
+// rotation order, each transfer gated on the previous one (the egress port
+// serialisation the analytic model charges). The rotation staggers the
+// destinations so that on an even matrix no ingress port ever sees two
+// concurrent flows — the schedule is gap-free and telescopes to the
+// analytic egress/ingress sums. Zero-byte pairs are skipped, mirroring the
+// analytic loops.
+func (e *Engine) AlltoAllV(ranks []int, sendBytes [][]int64) netsim.Cost {
+	p := len(ranks)
+	var flows []flowSpec
+	for i := 0; i < p; i++ {
+		prev := int32(-1)
+		for off := 0; off < p; off++ {
+			j := (i + off) % p
+			if sendBytes[i][j] == 0 {
+				continue
+			}
+			var deps []int32
+			if prev >= 0 {
+				deps = []int32{prev}
+			}
+			flows = append(flows, flowSpec{ranks[i], ranks[j], sendBytes[i][j], deps})
+			prev = int32(len(flows) - 1)
+		}
+	}
+	return e.costOf(kindAlltoAllV, "alltoallv", ranks, flows, func(h uint64) uint64 {
+		for _, row := range sendBytes {
+			for _, b := range row {
+				h = mix(h, uint64(b))
+			}
+		}
+		return h
+	})
+}
+
+// AlltoAll is the even all-to-all convenience wrapper.
+func (e *Engine) AlltoAll(ranks []int, bytesPerPair int64) netsim.Cost {
+	p := len(ranks)
+	send := make([][]int64, p)
+	for i := range send {
+		send[i] = make([]int64, p)
+		for j := range send[i] {
+			if i != j {
+				send[i][j] = bytesPerPair
+			}
+		}
+	}
+	return e.AlltoAllV(ranks, send)
+}
+
+// ringShards splits bytes into q per-member shards, remainder spread over
+// the first bytes%q members — the same convention as netsim.ReduceScatter,
+// so shard sums (and therefore aggregate bytes) are always exact.
+func ringShards(bytes int64, q int) []int64 {
+	per := make([]int64, q)
+	base, rem := bytes/int64(q), bytes%int64(q)
+	for i := range per {
+		per[i] = base
+		if int64(i) < rem {
+			per[i]++
+		}
+	}
+	return per
+}
+
+// ringPass appends one ring pass (q-1 steps) over members ranks: at step s,
+// member i sends block (i-s+1) mod q to member (i+1) mod q. Each step-s
+// flow depends on the member's own step-(s-1) send and on the upstream
+// neighbour's step-(s-1) send (which delivered the block being forwarded)
+// — the two-dependency chaining that keeps even rings in lockstep and
+// makes uneven ones wait honestly. entry optionally gates each member's
+// first send on flows of an earlier phase. Returns the extended plan and
+// each member's last send.
+func ringPass(flows []flowSpec, ranks []int, blocks []int64, entry [][]int32) ([]flowSpec, []int32) {
+	q := len(ranks)
+	cur := make([]int32, q)
+	for s := 1; s <= q-1; s++ {
+		next := make([]int32, q)
+		for i := 0; i < q; i++ {
+			blk := ((i-s+1)%q + q) % q
+			var deps []int32
+			if s == 1 {
+				if entry != nil {
+					deps = entry[i]
+				}
+			} else {
+				deps = []int32{cur[i], cur[(i-1+q)%q]}
+			}
+			flows = append(flows, flowSpec{ranks[i], ranks[(i+1)%q], blocks[blk], deps})
+			next[i] = int32(len(flows) - 1)
+		}
+		cur = next
+	}
+	return flows, cur
+}
+
+// AllGather lowers a ring all-gather: p-1 steps, each member forwarding
+// the block it received in the previous step.
+func (e *Engine) AllGather(ranks []int, perRankBytes []int64) netsim.Cost {
+	if len(ranks) <= 1 {
+		return zeroCost()
+	}
+	flows, _ := ringPass(nil, ranks, perRankBytes, nil)
+	return e.costOf(kindAllGather, "allgather", ranks, flows, func(h uint64) uint64 {
+		for _, b := range perRankBytes {
+			h = mix(h, uint64(b))
+		}
+		return h
+	})
+}
+
+// ReduceScatter lowers a ring reduce-scatter over the standard shard
+// convention; its schedule is one ring pass, like the all-gather.
+func (e *Engine) ReduceScatter(ranks []int, bytes int64) netsim.Cost {
+	if len(ranks) <= 1 || bytes == 0 {
+		return zeroCost()
+	}
+	flows, _ := ringPass(nil, ranks, ringShards(bytes, len(ranks)), nil)
+	return e.costOf(kindReduceScatter, "reducescatter", ranks, flows, func(h uint64) uint64 {
+		return mix(h, uint64(bytes))
+	})
+}
+
+// allReduceFlows lowers an all-reduce. Single-node groups (and uneven
+// multi-node layouts) run a global ring reduce-scatter followed by a ring
+// all-gather over the same shards. Even multi-node layouts decompose
+// hierarchically, mirroring the analytic model's phases: per-node ring
+// reduce-scatter, per-slot cross-node ring all-reduce of each member's
+// reduced shard (the g concurrent slot rings are what contend for the
+// shared NIC trunks), then per-node ring all-gather.
+func (e *Engine) allReduceFlows(ranks []int, bytes int64) []flowSpec {
+	m := e.G.M
+	p := len(ranks)
+	// Group members by node, preserving rank order.
+	nodeOrder := []int{}
+	byNode := map[int][]int{}
+	for _, r := range ranks {
+		nd := m.NodeOf(r)
+		if _, ok := byNode[nd]; !ok {
+			nodeOrder = append(nodeOrder, nd)
+		}
+		byNode[nd] = append(byNode[nd], r)
+	}
+	nodes := len(nodeOrder)
+	g := len(byNode[nodeOrder[0]])
+	even := true
+	for _, nd := range nodeOrder {
+		if len(byNode[nd]) != g {
+			even = false
+			break
+		}
+	}
+	if nodes == 1 || !even || g == 0 {
+		shards := ringShards(bytes, p)
+		flows, last := ringPass(nil, ranks, shards, nil)
+		entry := make([][]int32, p)
+		for i := range entry {
+			entry[i] = []int32{last[i], last[(i-1+p)%p]}
+		}
+		flows, _ = ringPass(flows, ranks, shards, entry)
+		return flows
+	}
+
+	var flows []flowSpec
+	shards := ringShards(bytes, g)
+	// Phase 1: per-node ring reduce-scatter.
+	rsLast := make(map[int][]int32, nodes)
+	for _, nd := range nodeOrder {
+		if g == 1 {
+			continue
+		}
+		var last []int32
+		flows, last = ringPass(flows, byNode[nd], shards, nil)
+		rsLast[nd] = last
+	}
+	// Phase 2: per-slot cross-node ring all-reduce of shard k.
+	agEntry := make(map[int][]int32, nodes) // per node: flows gating phase 3
+	for k := 0; k < g; k++ {
+		slot := make([]int, nodes)
+		entry := make([][]int32, nodes)
+		for ni, nd := range nodeOrder {
+			slot[ni] = byNode[nd][k]
+			entry[ni] = rsLast[nd]
+		}
+		sub := ringShards(shards[k], nodes)
+		var last []int32
+		flows, last = ringPass(flows, slot, sub, entry)
+		entry2 := make([][]int32, nodes)
+		for ni := range entry2 {
+			entry2[ni] = []int32{last[ni], last[(ni-1+nodes)%nodes]}
+		}
+		flows, last = ringPass(flows, slot, sub, entry2)
+		for ni, nd := range nodeOrder {
+			agEntry[nd] = append(agEntry[nd], last[ni], last[(ni-1+nodes)%nodes])
+		}
+	}
+	// Phase 3: per-node ring all-gather of the reduced shards.
+	for _, nd := range nodeOrder {
+		if g == 1 {
+			continue
+		}
+		entry := make([][]int32, g)
+		for i := range entry {
+			entry[i] = agEntry[nd]
+		}
+		flows, _ = ringPass(flows, byNode[nd], shards, entry)
+	}
+	return flows
+}
+
+// AllReduce lowers a hierarchical (or flat-ring) all-reduce.
+func (e *Engine) AllReduce(ranks []int, bytes int64) netsim.Cost {
+	if len(ranks) <= 1 || bytes == 0 {
+		return zeroCost()
+	}
+	flows := e.allReduceFlows(ranks, bytes)
+	return e.costOf(kindAllReduce, "allreduce", ranks, flows, func(h uint64) uint64 {
+		return mix(h, uint64(bytes))
+	})
+}
+
+// Broadcast lowers a binomial-tree broadcast from ranks[0]: in round k the
+// 2^k informed ranks each send to one uninformed rank, so the last leaf
+// finishes after ceil(log2 p) serialized rounds.
+func (e *Engine) Broadcast(ranks []int, bytes int64) netsim.Cost {
+	p := len(ranks)
+	if p <= 1 || bytes == 0 {
+		return zeroCost()
+	}
+	var flows []flowSpec
+	delivered := make([]int32, p)
+	for i := range delivered {
+		delivered[i] = -1
+	}
+	for dist := 1; dist < p; dist *= 2 {
+		for r := 0; r < dist && r+dist < p; r++ {
+			var deps []int32
+			if delivered[r] >= 0 {
+				deps = []int32{delivered[r]}
+			}
+			flows = append(flows, flowSpec{ranks[r], ranks[r+dist], bytes, deps})
+			delivered[r+dist] = int32(len(flows) - 1)
+		}
+	}
+	return e.costOf(kindBroadcast, "broadcast", ranks, flows, func(h uint64) uint64 {
+		return mix(h, uint64(bytes))
+	})
+}
+
+// Barrier lowers a dissemination barrier with explicit acknowledgements:
+// in round k, rank i sends a zero-byte request to (i+2^k) mod p and
+// proceeds to the next round once the matching zero-byte ack returns — two
+// latency charges per round, matching the analytic 2α-per-step barrier.
+func (e *Engine) Barrier(ranks []int) netsim.Cost {
+	p := len(ranks)
+	if p <= 1 {
+		return zeroCost()
+	}
+	var flows []flowSpec
+	steps := int(math.Ceil(math.Log2(float64(p))))
+	gate := make([][]int32, p)
+	for k := 0; k < steps; k++ {
+		d := 1 << k
+		reqs := make([]int32, p)
+		for i := 0; i < p; i++ {
+			flows = append(flows, flowSpec{ranks[i], ranks[(i+d)%p], 0, gate[i]})
+			reqs[i] = int32(len(flows) - 1)
+		}
+		next := make([][]int32, p)
+		for i := 0; i < p; i++ {
+			j := (i + d) % p
+			deps := append([]int32{reqs[i]}, gate[j]...)
+			flows = append(flows, flowSpec{ranks[j], ranks[i], 0, deps})
+			next[i] = []int32{int32(len(flows) - 1)}
+		}
+		gate = next
+	}
+	return e.costOf(kindBarrier, "barrier", ranks, flows, func(h uint64) uint64 { return h })
+}

@@ -1,0 +1,445 @@
+// Package devent is the discrete-event ("honest") communication engine of
+// the two-mode simulation core. Where internal/netsim costs each collective
+// with closed-form α–β aggregates, devent lowers it into point-to-point
+// transfer flows (internal/devent/decompose.go), routes each flow over an
+// explicit topology.Graph, and schedules the flows on a simulated clock:
+// per-rank ports serialise exclusively, shared trunks (node NICs, rack
+// spines, NoC crossbars) are divided among concurrent flows by max-min
+// fair sharing (progressive water-filling), and dependency edges gate ring
+// steps and tree rounds. Contention between concurrent collectives and
+// queueing on oversubscribed trunks therefore emerge from the schedule —
+// the effects the analytic model folds away.
+//
+// The engine implements netsim.CostEngine, so simrt Clusters run against
+// either mode unchanged. Cross-validation contract (pinned by the tests in
+// this package): on a contention-free flat graph the event engine
+// reproduces the analytic model's BytesByClass integer-exactly and its
+// per-collective Seconds to within 1 picosecond (float summation order is
+// the only difference) for the even/uniform layouts where the analytic
+// ring identities are themselves exact. On hierarchical graphs the two
+// modes diverge honestly, and that delta is the measurement.
+package devent
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"xmoe/internal/netsim"
+	"xmoe/internal/topology"
+)
+
+// Event is one entry of a collective's simulated schedule, exposed for the
+// determinism tests and debugging: identical inputs must yield bit-identical
+// event logs.
+type Event struct {
+	T     float64 // simulated time of the event
+	Kind  string  // "start" (ports granted) or "finish" (last byte drained)
+	Src   int
+	Dst   int
+	Bytes int64
+	Class topology.LinkClass
+}
+
+// CollectiveLog is the full schedule of one simulated collective.
+type CollectiveLog struct {
+	Kind    string // "alltoallv", "allreduce", ...
+	Ranks   []int
+	Seconds float64
+	Events  []Event
+}
+
+// Engine simulates collectives event-by-event over a topology graph. It is
+// safe for concurrent use by the simulated ranks: each cost query runs an
+// isolated simulation (fresh link timelines), so results are independent of
+// query order — the property the memo cache and the determinism tests rely
+// on.
+type Engine struct {
+	G *topology.Graph
+
+	mu       sync.Mutex
+	derate   map[topology.LinkClass]float64
+	cache    map[uint64]netsim.Cost
+	recorder func(CollectiveLog)
+}
+
+// New returns an event engine over graph g.
+func New(g *topology.Graph) *Engine {
+	return &Engine{G: g, cache: make(map[uint64]netsim.Cost)}
+}
+
+// EngineName identifies the engine and its graph in traces and benchmark
+// records (e.g. "event:rail").
+func (e *Engine) EngineName() string { return "event:" + e.G.Name }
+
+// SetLinkDerate applies degraded-link bandwidth derates (same contract as
+// netsim.Network.LinkDerate: factors > 1 divide the effective bandwidth of
+// that class, latencies and byte accounting unaffected). Set it only
+// between Cluster.Run calls; derates are folded into memo keys, so stale
+// cached times are never served.
+func (e *Engine) SetLinkDerate(d map[topology.LinkClass]float64) {
+	cp := make(map[topology.LinkClass]float64, len(d))
+	for c, v := range d {
+		cp[c] = v
+	}
+	e.mu.Lock()
+	e.derate = cp
+	e.mu.Unlock()
+}
+
+// SetRecorder installs a callback receiving every simulated collective's
+// event log. While a recorder is installed the memo cache is bypassed, so
+// repeated collectives are re-simulated and logged each time.
+func (e *Engine) SetRecorder(f func(CollectiveLog)) {
+	e.mu.Lock()
+	e.recorder = f
+	e.mu.Unlock()
+}
+
+const cacheBound = 1 << 16
+
+func mix(h, v uint64) uint64 { return (h ^ v) * 1099511628211 }
+
+func (e *Engine) derateOf(d map[topology.LinkClass]float64, class topology.LinkClass) float64 {
+	if v, ok := d[class]; ok && v > 1 {
+		return v
+	}
+	return 1
+}
+
+// costOf memoizes a collective's simulated cost; payload mixes the
+// byte-size arguments into the hash.
+func (e *Engine) costOf(kind uint64, name string, ranks []int, flows []flowSpec, payload func(uint64) uint64) netsim.Cost {
+	e.mu.Lock()
+	derate := e.derate
+	rec := e.recorder
+	e.mu.Unlock()
+	if rec != nil {
+		cost, log := e.simulate(name, ranks, flows, derate, true)
+		rec(log)
+		return cost
+	}
+	h := uint64(14695981039346656037)
+	h = mix(h, kind)
+	for class := topology.LinkLocal; class <= topology.LinkCrossRack; class++ {
+		h = mix(h, math.Float64bits(e.derateOf(derate, class)))
+	}
+	h = mix(h, uint64(len(ranks)))
+	for _, r := range ranks {
+		h = mix(h, uint64(r))
+	}
+	h = payload(h)
+	e.mu.Lock()
+	c, ok := e.cache[h]
+	e.mu.Unlock()
+	if ok {
+		return c
+	}
+	c, _ = e.simulate(name, ranks, flows, derate, false)
+	e.mu.Lock()
+	if len(e.cache) >= cacheBound {
+		e.cache = make(map[uint64]netsim.Cost, 256)
+	}
+	e.cache[h] = c
+	e.mu.Unlock()
+	return c
+}
+
+// flow runtime states.
+const (
+	fsWaiting uint8 = iota // dependencies outstanding
+	fsReady                // released, queued for its ports
+	fsGranted              // ports held, latency phase
+	fsActive               // moving bytes
+	fsDone
+)
+
+type simFlow struct {
+	spec       flowSpec
+	class      topology.LinkClass
+	ports      []topology.LinkID // exclusive (unshared) links on the route
+	trunks     []topology.LinkID // shared links on the route
+	cap        float64           // class bandwidth after derate (rate ceiling)
+	latency    float64           // class α plus shared-hop latencies
+	ndeps      int
+	dependents []int32
+	state      uint8
+	// fluid phase bookkeeping (flows with trunks only):
+	rate      float64
+	remaining float64
+	lastT     float64
+	gen       uint32
+}
+
+// simulate runs one collective's flow DAG to completion and returns its
+// cost (and, when record is set, the event log).
+func (e *Engine) simulate(name string, ranks []int, specs []flowSpec, derate map[topology.LinkClass]float64, record bool) (netsim.Cost, CollectiveLog) {
+	g := e.G
+	m := g.M
+	byClass := map[topology.LinkClass]int64{}
+	if len(specs) == 0 {
+		return netsim.Cost{BytesByClass: byClass}, CollectiveLog{Kind: name, Ranks: ranks}
+	}
+
+	flows := make([]simFlow, len(specs))
+	var routeBuf []topology.LinkID
+	trunkCap := make(map[topology.LinkID]float64)
+	for i := range specs {
+		sp := specs[i]
+		f := &flows[i]
+		f.spec = sp
+		f.class = m.Classify(sp.src, sp.dst)
+		if sp.bytes > 0 {
+			byClass[f.class] += sp.bytes
+		}
+		lspec := m.Link(f.class)
+		f.latency = lspec.Latency
+		f.cap = lspec.Bandwidth / e.derateOf(derate, f.class)
+		routeBuf = g.Route(sp.src, sp.dst, routeBuf[:0])
+		for _, id := range routeBuf {
+			l := g.Link(id)
+			if l.Shared {
+				f.trunks = append(f.trunks, id)
+				f.latency += l.Latency
+				if _, ok := trunkCap[id]; !ok {
+					trunkCap[id] = l.Bandwidth / e.derateOf(derate, l.Class)
+				}
+			} else {
+				f.ports = append(f.ports, id)
+			}
+		}
+		f.ndeps = len(sp.deps)
+	}
+	for i := range specs {
+		for _, d := range specs[i].deps {
+			flows[d].dependents = append(flows[d].dependents, int32(i))
+		}
+	}
+
+	var (
+		q        eventQueue
+		seq      uint64
+		now      float64
+		portBusy = make(map[topology.LinkID]bool)
+		readyQ   []int32
+		active   []int32 // fluid flows (with trunks) currently draining
+		events   []Event
+		makespan float64
+		done     int
+	)
+	push := func(t float64, k eventKind, fl int32, gen uint32) {
+		seq++
+		q.push(event{t: t, seq: seq, kind: k, flow: fl, gen: gen})
+	}
+	logEv := func(kind string, f *simFlow) {
+		if record {
+			events = append(events, Event{
+				T: now, Kind: kind, Src: f.spec.src, Dst: f.spec.dst,
+				Bytes: f.spec.bytes, Class: f.class,
+			})
+		}
+	}
+
+	// grant scans the ready queue in release order and starts every flow
+	// whose ports are all free. Single pass: ports are only freed by
+	// finish events, never by a grant.
+	grant := func() {
+		out := readyQ[:0]
+		for _, fl := range readyQ {
+			f := &flows[fl]
+			free := true
+			for _, p := range f.ports {
+				if portBusy[p] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				out = append(out, fl)
+				continue
+			}
+			for _, p := range f.ports {
+				portBusy[p] = true
+			}
+			f.state = fsGranted
+			logEv("start", f)
+			push(now+f.latency, evActivate, fl, f.gen)
+		}
+		readyQ = out
+	}
+
+	// recompute runs progressive water-filling over the fluid flows: all
+	// rates rise together until a flow hits its class cap or a trunk
+	// saturates; saturated parties freeze and filling continues. Flows
+	// whose rate changed get their remaining bytes settled at the old rate
+	// and a rescheduled finish. Flows without trunks never enter here, so
+	// their port-exclusive timing stays bit-exact.
+	recompute := func() {
+		if len(active) == 0 {
+			return
+		}
+		type lk struct {
+			rem float64
+			n   int
+		}
+		links := map[topology.LinkID]*lk{}
+		var order []topology.LinkID
+		for _, fl := range active {
+			for _, id := range flows[fl].trunks {
+				l := links[id]
+				if l == nil {
+					l = &lk{rem: trunkCap[id]}
+					links[id] = l
+					order = append(order, id)
+				}
+				l.n++
+			}
+		}
+		newRate := make([]float64, len(active))
+		frozen := make([]bool, len(active))
+		for unfrozen := len(active); unfrozen > 0; {
+			inc := math.Inf(1)
+			for k, fl := range active {
+				if !frozen[k] {
+					if d := flows[fl].cap - newRate[k]; d < inc {
+						inc = d
+					}
+				}
+			}
+			for _, id := range order {
+				if l := links[id]; l.n > 0 {
+					if s := l.rem / float64(l.n); s < inc {
+						inc = s
+					}
+				}
+			}
+			if inc < 0 || math.IsInf(inc, 1) {
+				inc = 0
+			}
+			for k := range active {
+				if !frozen[k] {
+					newRate[k] += inc
+				}
+			}
+			for _, id := range order {
+				l := links[id]
+				l.rem -= inc * float64(l.n)
+			}
+			progressed := false
+			for k, fl := range active {
+				if frozen[k] {
+					continue
+				}
+				f := &flows[fl]
+				stop := newRate[k] >= f.cap*(1-1e-12)
+				if !stop {
+					for _, id := range f.trunks {
+						if links[id].rem <= trunkCap[id]*1e-12 {
+							stop = true
+							break
+						}
+					}
+				}
+				if stop {
+					frozen[k] = true
+					unfrozen--
+					progressed = true
+					for _, id := range f.trunks {
+						links[id].n--
+					}
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		for k, fl := range active {
+			f := &flows[fl]
+			r := newRate[k]
+			if r <= 0 {
+				// Numerical corner: never stall a flow entirely.
+				r = f.cap * 1e-9
+			}
+			if r != f.rate {
+				f.remaining -= f.rate * (now - f.lastT)
+				if f.remaining < 0 {
+					f.remaining = 0
+				}
+				f.lastT = now
+				f.rate = r
+				f.gen++
+				push(now+f.remaining/r, evFinish, fl, f.gen)
+			}
+		}
+	}
+
+	for i := range flows {
+		if flows[i].ndeps == 0 {
+			flows[i].state = fsReady
+			readyQ = append(readyQ, int32(i))
+		}
+	}
+	grant()
+
+	for q.len() > 0 {
+		ev := q.pop()
+		f := &flows[ev.flow]
+		if ev.kind == evFinish && (ev.gen != f.gen || f.state == fsDone) {
+			continue
+		}
+		now = ev.t
+		switch ev.kind {
+		case evActivate:
+			f.state = fsActive
+			if len(f.trunks) == 0 || f.spec.bytes == 0 {
+				t := now
+				if f.spec.bytes > 0 {
+					t = now + float64(f.spec.bytes)/f.cap
+				}
+				push(t, evFinish, ev.flow, f.gen)
+			} else {
+				f.rate = 0
+				f.remaining = float64(f.spec.bytes)
+				f.lastT = now
+				active = append(active, ev.flow)
+				recompute()
+			}
+		case evFinish:
+			f.state = fsDone
+			done++
+			if now > makespan {
+				makespan = now
+			}
+			logEv("finish", f)
+			for _, p := range f.ports {
+				portBusy[p] = false
+			}
+			wasFluid := false
+			for k, fl := range active {
+				if fl == ev.flow {
+					active = append(active[:k], active[k+1:]...)
+					wasFluid = true
+					break
+				}
+			}
+			for _, d := range f.dependents {
+				df := &flows[d]
+				df.ndeps--
+				if df.ndeps == 0 {
+					df.state = fsReady
+					readyQ = append(readyQ, d)
+				}
+			}
+			grant()
+			if wasFluid {
+				recompute()
+			}
+		}
+	}
+	if done != len(flows) {
+		panic(fmt.Sprintf("devent: %s over %d ranks deadlocked with %d/%d flows done",
+			name, len(ranks), done, len(flows)))
+	}
+	return netsim.Cost{Seconds: makespan, BytesByClass: byClass},
+		CollectiveLog{Kind: name, Ranks: append([]int(nil), ranks...), Seconds: makespan, Events: events}
+}

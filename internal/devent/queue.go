@@ -1,0 +1,77 @@
+package devent
+
+// eventKind discriminates the scheduled event types of the simulator.
+type eventKind uint8
+
+const (
+	// evActivate fires when a granted flow finishes its latency phase and
+	// starts moving bytes.
+	evActivate eventKind = iota
+	// evFinish fires when an active flow drains its last byte. Finish
+	// events are invalidated lazily: a fair-share rate change bumps the
+	// flow's generation and schedules a fresh finish, and stale events are
+	// dropped on pop.
+	evFinish
+)
+
+type event struct {
+	t    float64
+	seq  uint64
+	kind eventKind
+	flow int32
+	gen  uint32
+}
+
+// eventQueue is a binary min-heap ordered by (time, sequence): events
+// scheduled for the same instant fire in scheduling order, which is what
+// makes the simulation deterministic — no map iteration or goroutine
+// interleaving ever decides a tie.
+type eventQueue struct {
+	h []event
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+func (q *eventQueue) less(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(e event) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.h[i], q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && q.less(q.h[l], q.h[s]) {
+			s = l
+		}
+		if r < last && q.less(q.h[r], q.h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q.h[i], q.h[s] = q.h[s], q.h[i]
+		i = s
+	}
+	return top
+}

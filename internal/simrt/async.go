@@ -127,7 +127,7 @@ func (r *Rank) AlltoAllVAsync(g *Group, name string, send []Part) *CommHandle {
 					recv[d][s] = part
 				}
 			}
-			cost := g.c.Net.AlltoAllV(g.ranks, bytes)
+			cost := g.c.CostEngine().AlltoAllV(g.ranks, bytes)
 			return a2avAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: recv}
 		}).(a2avAsyncResult)
 	r.commBusyUntil = res.end

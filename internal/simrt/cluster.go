@@ -114,8 +114,15 @@ func (d *Device) OOM() bool { return d.Mem.Peak() > d.Profile.MemBytes }
 // Cluster is a simulated machine partition: NumRanks ranks laid out on the
 // machine topology, sharing a network simulator and a compute model.
 type Cluster struct {
-	Machine  *topology.Machine
-	Net      *netsim.Network
+	Machine *topology.Machine
+	Net     *netsim.Network
+	// Engine, when non-nil, replaces the analytic Net as the collective
+	// cost model: every collective charges CostEngine() instead of Net
+	// directly. Plug in a devent.Engine to run the cluster on the
+	// event-driven honest path (link-level transfers with trunk
+	// contention); leave nil for the memoized analytic fast path. Set it
+	// before the first Run and never while ranks are in flight.
+	Engine   netsim.CostEngine
 	Comp     *perfmodel.Model
 	NumRanks int
 	// DisablePools turns off the per-rank tensor arenas: Rank.Pool
@@ -159,6 +166,32 @@ func NewCluster(m *topology.Machine, n int, seed uint64) *Cluster {
 
 // Device returns the device of global rank r.
 func (c *Cluster) Device(r int) *Device { return c.devices[r] }
+
+// CostEngine returns the collective cost model the cluster charges: the
+// pluggable Engine when one is installed, else the analytic Net. Existing
+// tests that predict expected times via c.Net stay exact because a nil
+// Engine falls through to the same model.
+func (c *Cluster) CostEngine() netsim.CostEngine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return c.Net
+}
+
+// EngineName identifies the active cost engine ("analytic", "event:rail",
+// ...) for traces and benchmark records.
+func (c *Cluster) EngineName() string { return c.CostEngine().EngineName() }
+
+// SetLinkDerate applies degraded-link bandwidth derates to every cost
+// model attached to the cluster (the analytic Net and, when installed, the
+// pluggable Engine), so fault-injected link degradation behaves the same
+// under both engines. Call only between Run invocations.
+func (c *Cluster) SetLinkDerate(d map[topology.LinkClass]float64) {
+	c.Net.SetLinkDerate(d)
+	if c.Engine != nil {
+		c.Engine.SetLinkDerate(d)
+	}
+}
 
 // Rank is the per-goroutine execution context handed to the SPMD body.
 type Rank struct {
@@ -264,6 +297,10 @@ func (c *Cluster) Run(fn func(r *Rank) error) error {
 				}
 			}()
 			rank := &Rank{ID: id, C: c, Trace: &trace.Recorder{}}
+			// Stamp the active cost engine on every trace so recorded
+			// spans are attributable to analytic vs event mode (marks
+			// never pollute breakdowns).
+			rank.Trace.Mark("engine:"+c.EngineName(), 0)
 			errs[id] = fn(rank)
 			if errs[id] == nil {
 				if leaked := rank.leakedHandles(); len(leaked) > 0 {

@@ -74,7 +74,7 @@ func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
 				recv[d][s] = part
 			}
 		}
-		cost := g.c.Net.AlltoAllV(g.ranks, bytes)
+		cost := g.c.CostEngine().AlltoAllV(g.ranks, bytes)
 		return a2avResult{cost: cost, recv: recv}
 	}).(a2avResult)
 	r.Clock += res.cost.Seconds
@@ -82,12 +82,12 @@ func (r *Rank) AlltoAllV(g *Group, name string, send []Part) []Part {
 	return res.recv[g.IndexOf(r.ID)]
 }
 
-// AlltoAllVCost returns the netsim cost of the most recent equivalent
+// AlltoAllVCost returns the active cost engine's price of the equivalent
 // exchange without performing it; used by analysis harnesses. It is a
-// convenience over Net.AlltoAllV for callers that already hold the byte
-// matrix.
+// convenience over CostEngine().AlltoAllV for callers that already hold
+// the byte matrix.
 func (c *Cluster) AlltoAllVCost(ranks []int, bytes [][]int64) netsim.Cost {
-	return c.Net.AlltoAllV(ranks, bytes)
+	return c.CostEngine().AlltoAllV(ranks, bytes)
 }
 
 type allReduceEntry struct {
@@ -124,7 +124,7 @@ func (r *Rank) AllReduce(g *Group, name string, data []float32, bytes int64) []f
 				}
 			}
 		}
-		return allReduceResult{cost: g.c.Net.AllReduce(g.ranks, maxBytes), sum: sum}
+		return allReduceResult{cost: g.c.CostEngine().AllReduce(g.ranks, maxBytes), sum: sum}
 	}).(allReduceResult)
 	r.Clock += res.cost.Seconds
 	r.Trace.Record(name, start, r.Clock-start)
@@ -150,7 +150,7 @@ func (r *Rank) AllGather(g *Group, name string, part Part) []Part {
 			parts[i] = e.(Part)
 			bytes[i] = parts[i].Bytes
 		}
-		return allGatherResult{cost: g.c.Net.AllGather(g.ranks, bytes), parts: parts}
+		return allGatherResult{cost: g.c.CostEngine().AllGather(g.ranks, bytes), parts: parts}
 	}).(allGatherResult)
 	r.Clock += res.cost.Seconds
 	r.Trace.Record(name, start, r.Clock-start)
@@ -178,7 +178,7 @@ func (r *Rank) Broadcast(g *Group, name string, rootIdx int, part Part) Part {
 			copy(d, p.Data)
 			p.Data = d
 		}
-		return bcastResult{cost: g.c.Net.Broadcast(g.ranks, p.Bytes), part: p}
+		return bcastResult{cost: g.c.CostEngine().Broadcast(g.ranks, p.Bytes), part: p}
 	}).(bcastResult)
 	r.Clock += res.cost.Seconds
 	r.Trace.Record(name, start, r.Clock-start)
@@ -191,7 +191,7 @@ func (r *Rank) Barrier(g *Group) {
 	start := r.Clock
 	r.drainComm() // drained stream time is part of this collective's span
 	res := g.collect(r, "barrier", nil, func(entries []any, _ []float64) any {
-		return g.c.Net.Barrier(g.ranks)
+		return g.c.CostEngine().Barrier(g.ranks)
 	}).(netsim.Cost)
 	r.Clock += res.Seconds
 	r.Trace.Record("barrier", start, r.Clock-start)
@@ -236,7 +236,7 @@ func (r *Rank) ExchangeCounts(g *Group, name string, counts []int64) []int64 {
 				recv[d][s] = v
 			}
 		}
-		return countsResult{cost: g.c.Net.AlltoAllV(g.ranks, g.countBytes()), recv: recv}
+		return countsResult{cost: g.c.CostEngine().AlltoAllV(g.ranks, g.countBytes()), recv: recv}
 	}).(countsResult)
 	r.Clock += res.cost.Seconds
 	r.Trace.Record(name, start, r.Clock-start)

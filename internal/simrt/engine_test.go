@@ -1,0 +1,211 @@
+package simrt_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"xmoe/internal/devent"
+	"xmoe/internal/simrt"
+	"xmoe/internal/topology"
+)
+
+// eventCluster builds a cluster running on the event engine over a rail
+// graph, with an optional recorder capturing every collective's schedule.
+func eventCluster(n int, record func(devent.CollectiveLog)) (*simrt.Cluster, *devent.Engine) {
+	m := topology.Frontier()
+	c := simrt.NewCluster(m, n, 1)
+	c.Net.DisableCongestion = true
+	eng := devent.New(topology.RailGraph(m, n, 0))
+	if record != nil {
+		eng.SetRecorder(record)
+	}
+	c.Engine = eng
+	return c, eng
+}
+
+// canonical renders a collective log deterministically for comparison:
+// bit-identical schedules produce identical strings (%v prints float64s
+// with a bijective shortest representation).
+func canonical(logs []devent.CollectiveLog) []string {
+	out := make([]string, len(logs))
+	for i, l := range logs {
+		out[i] = fmt.Sprintf("%v", l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Two identical seeds driving concurrent collectives on disjoint groups
+// must produce bit-identical event logs and final rank clocks. Runs under
+// -race via make race-fast, so goroutine interleaving is actively shaken.
+func TestConcurrentCollectivesDeterministic(t *testing.T) {
+	const n = 16
+	run := func() ([]string, []float64) {
+		var mu sync.Mutex
+		var logs []devent.CollectiveLog
+		c, _ := eventCluster(n, func(l devent.CollectiveLog) {
+			mu.Lock()
+			logs = append(logs, l)
+			mu.Unlock()
+		})
+		lo := c.NewGroup([]int{0, 1, 2, 3, 4, 5, 6, 7})
+		hi := c.NewGroup([]int{8, 9, 10, 11, 12, 13, 14, 15})
+		ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+			g := lo
+			if r.ID >= 8 {
+				g = hi
+			}
+			send := make([]simrt.Part, g.Size())
+			for j := range send {
+				send[j] = simrt.Part{Bytes: int64((r.ID+j)%5+1) << 16}
+			}
+			r.AlltoAllV(g, "a2av", send)
+			r.AllReduce(g, "allreduce", nil, 1<<20)
+			r.Barrier(g)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clocks := make([]float64, n)
+		for i, r := range ranks {
+			clocks[i] = r.Clock
+		}
+		return canonical(logs), clocks
+	}
+
+	logsA, clocksA := run()
+	logsB, clocksB := run()
+	if len(logsA) == 0 {
+		t.Fatal("no collective logs recorded")
+	}
+	if len(logsA) != len(logsB) {
+		t.Fatalf("log count differs: %d vs %d", len(logsA), len(logsB))
+	}
+	for i := range logsA {
+		if logsA[i] != logsB[i] {
+			t.Fatalf("event log %d differs between identical runs:\n%s\nvs\n%s", i, logsA[i], logsB[i])
+		}
+	}
+	for i := range clocksA {
+		if math.Float64bits(clocksA[i]) != math.Float64bits(clocksB[i]) {
+			t.Fatalf("rank %d final clock differs: %.17g vs %.17g", i, clocksA[i], clocksB[i])
+		}
+	}
+}
+
+// The selected engine must be stamped on every rank's trace.
+func TestEngineTraceMark(t *testing.T) {
+	m := topology.Frontier()
+	c := simrt.NewCluster(m, 8, 1)
+	c.Net.DisableCongestion = true
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		if got := r.Trace.MarkCount("engine:analytic"); got != 1 {
+			t.Fatalf("rank %d: engine:analytic marks = %d, want 1", r.ID, got)
+		}
+	}
+
+	c2, _ := eventCluster(8, nil)
+	ranks, err = c2.RunCollect(func(r *simrt.Rank) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		if got := r.Trace.MarkCount("engine:event:rail"); got != 1 {
+			t.Fatalf("rank %d: engine:event:rail marks = %d, want 1", r.ID, got)
+		}
+	}
+}
+
+// CommHandle overlap accounting must hold unchanged under the event
+// engine: waiting after independent compute charges only the uncovered
+// communication remainder.
+func TestCommHandleOverlapUnderEventEngine(t *testing.T) {
+	const n = 16
+	c, eng := eventCluster(n, nil)
+	world := c.WorldGroup()
+
+	const bpp = int64(1 << 20)
+	send := make([][]int64, n)
+	for i := range send {
+		send[i] = make([]int64, n)
+		for j := range send[i] {
+			if i != j {
+				send[i][j] = bpp
+			}
+		}
+	}
+	comm := eng.AlltoAllV(ranksOfN(n), send).Seconds
+	compute := comm / 2 // partially covered: remainder must be charged
+
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		parts := make([]simrt.Part, n)
+		for j := range parts {
+			if j != r.ID {
+				parts[j] = simrt.Part{Bytes: bpp}
+			}
+		}
+		h := r.AlltoAllVAsync(world, "a2av-async", parts)
+		r.Compute("gemm", compute)
+		h.Wait()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := comm // max(comm, compute) with compute < comm
+	for _, r := range ranks {
+		if math.Abs(r.Clock-want) > 1e-12 {
+			t.Fatalf("rank %d clock %.15g, want overlapped %.15g", r.ID, r.Clock, want)
+		}
+	}
+}
+
+// Cluster.SetLinkDerate must reach the pluggable engine, not just the
+// analytic Net.
+func TestSetLinkDerateReachesEngine(t *testing.T) {
+	const n = 16
+	c, _ := eventCluster(n, nil)
+	world := c.WorldGroup()
+	step := func() float64 {
+		ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+			send := make([]simrt.Part, n)
+			for j := range send {
+				if j != r.ID {
+					send[j] = simrt.Part{Bytes: 1 << 20}
+				}
+			}
+			r.AlltoAllV(world, "a2av", send)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return simrt.MaxClock(ranks)
+	}
+	healthy := step()
+	c.SetLinkDerate(map[topology.LinkClass]float64{topology.LinkInterNode: 4})
+	derated := step()
+	c.SetLinkDerate(nil)
+	if derated <= healthy {
+		t.Fatalf("derated step %.6g not slower than healthy %.6g", derated, healthy)
+	}
+	if again := step(); again != healthy {
+		t.Fatalf("after clearing derate: %.15g, want %.15g", again, healthy)
+	}
+}
+
+func ranksOfN(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}

@@ -75,8 +75,14 @@ func TestRunReturnsWhenRankPanicsMidCollective(t *testing.T) {
 		t.Fatalf("error must attribute the panic to rank 1, got: %v", err)
 	}
 	// All three survivors must report the aborted collective by name.
-	if got := strings.Count(err.Error(), "ar aborted"); got != 3 {
-		t.Fatalf("want 3 survivor aborts naming the collective, got %d in: %v", got, err)
+	// Checked per rank, not by substring count: a survivor woken by an
+	// already-aborted peer nests that peer's text as its cause, so the
+	// phrase can appear more than once per line (abort *text* is
+	// scheduling-dependent; only the outcome set is deterministic).
+	for _, survivor := range []int{0, 2, 3} {
+		if want := fmt.Sprintf("rank %d: ar aborted", survivor); !strings.Contains(err.Error(), want) {
+			t.Fatalf("survivor %d must name the aborted collective, got: %v", survivor, err)
+		}
 	}
 	if fr := c.FailedRanks(); fr[1] == nil {
 		t.Fatalf("failure registry must record rank 1, got %v", fr)

@@ -1,0 +1,260 @@
+package topology
+
+import "fmt"
+
+// Graphs are the link-level view of a Machine consumed by the event-driven
+// simulation engine (internal/devent): explicit serialisable resources
+// (per-rank injection/ejection ports, shared NIC trunks, rack spines,
+// NoC-style crossbars) connected by a routing function. The analytic model
+// (internal/netsim) works from the Machine's class table alone; the event
+// engine schedules every transfer over a Graph's links, so contention on
+// shared resources emerges from the schedule instead of being folded into
+// closed-form aggregates.
+
+// LinkID indexes Graph.Links.
+type LinkID int32
+
+// GraphLink is one directed, serialisable resource in a topology graph.
+type GraphLink struct {
+	ID   LinkID
+	Name string
+	// Class is the link tier used for byte accounting and degraded-link
+	// derates (the same vocabulary as the analytic model).
+	Class LinkClass
+	// Latency and Bandwidth are the α–β parameters of the resource.
+	// ClassBound links ignore them (see below).
+	Latency   float64
+	Bandwidth float64
+	// ClassBound marks per-rank ports whose effective α–β follow the
+	// *transfer's* classified link class rather than a fixed spec: a GPU's
+	// injection port runs at GCD-pair speed when feeding its pair sibling
+	// and at inter-node speed when feeding the fabric, exactly as the
+	// analytic model charges per-destination serialisation.
+	ClassBound bool
+	// Shared marks resources multiplexed by many ranks (NIC trunks, rack
+	// spines, node crossbars) — where queueing/fair-share contention
+	// appears.
+	Shared bool
+}
+
+// Graph is a topology as the event engine sees it: links plus a route
+// function mapping each (src, dst) rank pair to the ordered links its
+// transfers traverse. Ranks are the same dense global indices the Machine
+// uses.
+type Graph struct {
+	Name     string
+	M        *Machine
+	NumRanks int
+	Links    []GraphLink
+	// route appends the link IDs of the src→dst path to buf and returns
+	// the extended slice. Builders guarantee it is pure and concurrency-
+	// safe.
+	route func(src, dst int, buf []LinkID) []LinkID
+}
+
+// Route appends the links of the src→dst path to buf (which may be nil)
+// and returns the extended slice.
+func (g *Graph) Route(src, dst int, buf []LinkID) []LinkID {
+	return g.route(src, dst, buf)
+}
+
+// Link returns the graph link with the given ID.
+func (g *Graph) Link(id LinkID) *GraphLink { return &g.Links[id] }
+
+// Validate checks structural consistency: link IDs dense, specs sane, and
+// every rank pair routable over existing links.
+func (g *Graph) Validate() error {
+	if g.NumRanks <= 0 {
+		return fmt.Errorf("topology: graph %s: no ranks", g.Name)
+	}
+	for i, l := range g.Links {
+		if int(l.ID) != i {
+			return fmt.Errorf("topology: graph %s: link %d has ID %d", g.Name, i, l.ID)
+		}
+		if !l.ClassBound && (l.Bandwidth <= 0 || l.Latency < 0) {
+			return fmt.Errorf("topology: graph %s: link %s has invalid spec", g.Name, l.Name)
+		}
+	}
+	var buf []LinkID
+	for s := 0; s < g.NumRanks; s++ {
+		for d := 0; d < g.NumRanks; d++ {
+			buf = g.route(s, d, buf[:0])
+			for _, id := range buf {
+				if int(id) < 0 || int(id) >= len(g.Links) {
+					return fmt.Errorf("topology: graph %s: route %d→%d uses unknown link %d",
+						g.Name, s, d, id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Flat returns a synthetic single-switch machine of n ranks: one node,
+// every pair connected at the same GCD-pair tier, and an effectively
+// unconstrained NIC. It is the contention-free reference platform of the
+// event-engine cross-validation suite (and available to the CLIs as
+// "flat<N>"): with a single link class and no shared trunks, the event
+// engine's schedule must telescope to the analytic model's closed forms.
+func Flat(n int) *Machine {
+	pair := LinkSpec{Latency: 1.5e-6, Bandwidth: 200 * gb}
+	return &Machine{
+		Name:             fmt.Sprintf("flat%d", n),
+		GPUsPerNode:      n,
+		GPUsPerPair:      n,
+		NodesPerRack:     1,
+		NodeNICBandwidth: 100 * gb,
+		Links: map[LinkClass]LinkSpec{
+			LinkLocal:     {Latency: 0, Bandwidth: 1300 * gb},
+			LinkGCDPair:   pair,
+			LinkIntraNode: pair,
+			LinkInterNode: {Latency: 4e-6, Bandwidth: 25 * gb},
+			LinkCrossRack: {Latency: 8e-6, Bandwidth: 25 * gb},
+		},
+		Device: Frontier().Device,
+	}
+}
+
+// portGraph lays out the per-rank injection/ejection ports shared by all
+// graph builders: egress port of rank r is link r, ingress port is n+r.
+func portGraph(name string, m *Machine, n int) *Graph {
+	g := &Graph{Name: name, M: m, NumRanks: n}
+	for r := 0; r < n; r++ {
+		g.Links = append(g.Links, GraphLink{
+			ID: LinkID(r), Name: fmt.Sprintf("eg%d", r), ClassBound: true,
+		})
+	}
+	for r := 0; r < n; r++ {
+		g.Links = append(g.Links, GraphLink{
+			ID: LinkID(n + r), Name: fmt.Sprintf("in%d", r), ClassBound: true,
+		})
+	}
+	return g
+}
+
+func (g *Graph) egress(r int) LinkID  { return LinkID(r) }
+func (g *Graph) ingress(r int) LinkID { return LinkID(g.NumRanks + r) }
+
+// FlatGraph builds the contention-free flat graph over the first n ranks
+// of machine m: per-rank egress and ingress ports only, every transfer
+// served at its pair's class tier, no shared trunks. All n ranks must fit
+// on one node (the regime where the analytic identities are exact); use
+// RailGraph or NoCGraph for multi-node spans.
+func FlatGraph(m *Machine, n int) *Graph {
+	if m.NumNodes(n) != 1 {
+		panic(fmt.Sprintf("topology: FlatGraph wants a single-node span, %d ranks need %d %s nodes",
+			n, m.NumNodes(n), m.Name))
+	}
+	g := portGraph("flat", m, n)
+	g.route = func(src, dst int, buf []LinkID) []LinkID {
+		return append(buf, g.egress(src), g.ingress(dst))
+	}
+	return g
+}
+
+// RailGraph builds the 2-level node/rail graph over the first n ranks of
+// machine m: per-rank ports, one shared NIC trunk per node and direction
+// (the node's aggregate injection bandwidth, which all its GPUs contend
+// for), and — when the span crosses racks — one shared spine trunk per
+// rack and direction whose bandwidth is the rack's aggregate NIC rate
+// divided by oversub (Dragonfly global-link oversubscription; oversub <= 0
+// selects the default of 4).
+func RailGraph(m *Machine, n int, oversub float64) *Graph {
+	if oversub <= 0 {
+		oversub = 4
+	}
+	g := portGraph("rail", m, n)
+	nodes := m.NumNodes(n)
+	racks := m.NumRacks(n)
+	nicUp := make([]LinkID, nodes)
+	nicDown := make([]LinkID, nodes)
+	for nd := 0; nd < nodes; nd++ {
+		nicUp[nd] = LinkID(len(g.Links))
+		g.Links = append(g.Links, GraphLink{
+			ID: nicUp[nd], Name: fmt.Sprintf("nic%d.up", nd),
+			Class: LinkInterNode, Bandwidth: m.NodeNICBandwidth, Shared: true,
+		})
+		nicDown[nd] = LinkID(len(g.Links))
+		g.Links = append(g.Links, GraphLink{
+			ID: nicDown[nd], Name: fmt.Sprintf("nic%d.down", nd),
+			Class: LinkInterNode, Bandwidth: m.NodeNICBandwidth, Shared: true,
+		})
+	}
+	var spineUp, spineDown []LinkID
+	if racks > 1 {
+		spineBW := float64(m.NodesPerRack) * m.NodeNICBandwidth / oversub
+		spineUp = make([]LinkID, racks)
+		spineDown = make([]LinkID, racks)
+		for rk := 0; rk < racks; rk++ {
+			spineUp[rk] = LinkID(len(g.Links))
+			g.Links = append(g.Links, GraphLink{
+				ID: spineUp[rk], Name: fmt.Sprintf("spine%d.up", rk),
+				Class: LinkCrossRack, Bandwidth: spineBW, Shared: true,
+			})
+			spineDown[rk] = LinkID(len(g.Links))
+			g.Links = append(g.Links, GraphLink{
+				ID: spineDown[rk], Name: fmt.Sprintf("spine%d.down", rk),
+				Class: LinkCrossRack, Bandwidth: spineBW, Shared: true,
+			})
+		}
+	}
+	g.route = func(src, dst int, buf []LinkID) []LinkID {
+		buf = append(buf, g.egress(src))
+		sn, dn := m.NodeOf(src), m.NodeOf(dst)
+		if sn != dn {
+			buf = append(buf, nicUp[sn])
+			if sr, dr := m.RackOf(src), m.RackOf(dst); sr != dr {
+				buf = append(buf, spineUp[sr], spineDown[dr])
+			}
+			buf = append(buf, nicDown[dn])
+		}
+		return append(buf, g.ingress(dst))
+	}
+	return g
+}
+
+// NoCGraph builds the NoC-style hierarchical graph over the first n ranks
+// of machine m, mirroring the chiplet topologies of uPimulator-class
+// simulators: per-rank ports, one shared crossbar trunk per GCD pair and
+// direction bridging the pair onto the node-local NoC (aggregate intra-node
+// bandwidth of the pair's members), then the node NIC trunks and rack
+// spines of RailGraph above it. Intra-pair transfers bypass the crossbar.
+func NoCGraph(m *Machine, n int, oversub float64) *Graph {
+	rail := RailGraph(m, n, oversub)
+	g := &Graph{Name: "noc", M: m, NumRanks: n, Links: rail.Links}
+	pairSize := m.GPUsPerPair
+	pairsPerNode := m.GPUsPerNode / pairSize
+	pairOf := func(r int) int {
+		return m.NodeOf(r)*pairsPerNode + m.LocalRank(r)/pairSize
+	}
+	numPairs := pairOf(n-1) + 1
+	intra := m.Link(LinkIntraNode)
+	xbarBW := intra.Bandwidth * float64(pairSize)
+	xbUp := make([]LinkID, numPairs)
+	xbDown := make([]LinkID, numPairs)
+	for p := 0; p < numPairs; p++ {
+		xbUp[p] = LinkID(len(g.Links))
+		g.Links = append(g.Links, GraphLink{
+			ID: xbUp[p], Name: fmt.Sprintf("xbar%d.up", p),
+			Class: LinkIntraNode, Latency: intra.Latency, Bandwidth: xbarBW, Shared: true,
+		})
+		xbDown[p] = LinkID(len(g.Links))
+		g.Links = append(g.Links, GraphLink{
+			ID: xbDown[p], Name: fmt.Sprintf("xbar%d.down", p),
+			Class: LinkIntraNode, Latency: intra.Latency, Bandwidth: xbarBW, Shared: true,
+		})
+	}
+	g.route = func(src, dst int, buf []LinkID) []LinkID {
+		sp, dp := pairOf(src), pairOf(dst)
+		if sp == dp {
+			return append(buf, g.egress(src), g.ingress(dst))
+		}
+		// Rebuild the rail path and splice the crossbar hops in after the
+		// egress port and before the ingress port.
+		rail := rail.route(src, dst, nil)
+		buf = append(buf, rail[0], xbUp[sp])
+		buf = append(buf, rail[1:len(rail)-1]...)
+		return append(buf, xbDown[dp], rail[len(rail)-1])
+	}
+	return g
+}

@@ -107,7 +107,7 @@ func (t *DistTrainer) RunFaultTolerant(o FTOptions) (FTStats, error) {
 	for t.step < o.Steps {
 		step := t.step
 		inj.Arm(step, wall)
-		t.cluster.Net.LinkDerate = inj.LinkDerates(step)
+		t.cluster.SetLinkDerate(inj.LinkDerates(step))
 		stats, err := t.Step()
 		if err == nil {
 			wall += stats.WallClock
