@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent bench bench-figs bench-json bench-save ci
+.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent verify-zero bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -53,6 +53,16 @@ verify-devent:
 	$(GO) test -race -run 'Engine|ConcurrentCollectives|CommHandleOverlap|SetLinkDerate' \
 		./internal/simrt
 
+# ZeRO verification gate: the sharded gradient-sync stack under the race
+# detector — async reduction collectives (simrt), bucket partitioning and
+# bit-identity (zero), the sharded trainer step + checkpoint resharding
+# (train), the memmodel state predictions, and the bucketed wire-byte
+# invariants (netsim).
+verify-zero:
+	$(GO) test -race ./internal/zero
+	$(GO) test -race -run 'ZeRO|StateBytes|ShardRange|ReduceAsync|AllReduceAsync|ReduceScatterAsync|AllGatherAsync|OnDWReady|Bucketed' \
+		./internal/simrt ./internal/moe ./internal/train ./internal/memmodel ./internal/netsim
+
 # Chaos pass: the seeded fault-injection suite under the race detector —
 # rank crashes mid-collective, stragglers, flaky retries, degraded links,
 # checkpoint rollback and elastic recovery. Every schedule is
@@ -77,7 +87,7 @@ bench-json:
 # the acceptance configuration) for the simulated speedups.
 bench-save:
 	$(GO) run ./cmd/xmoe-bench -quick -json -experiment fig10a,fig10b,fig11,fig12
-	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd,abl-faults,abl-engine-delta
+	$(GO) run ./cmd/xmoe-bench -json -experiment abl-overlap,abl-overlap-bwd,abl-faults,abl-engine-delta,abl-zero
 	@echo "BENCH_results.json updated; commit it with this PR"
 
 # Quick CI: vet + build + race tests on the fast packages + the chaos

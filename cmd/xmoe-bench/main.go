@@ -14,7 +14,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +55,7 @@ var experiments = map[string]func(w io.Writer, opts bench.Options){
 	"abl-overlap-bwd":  func(w io.Writer, o bench.Options) { bench.AblationOverlapBackward(w, o) },
 	"abl-faults":       func(w io.Writer, o bench.Options) { bench.AblationFaults(w, o) },
 	"abl-engine-delta": func(w io.Writer, o bench.Options) { bench.AblationEngineDelta(w, o) },
+	"abl-zero":         func(w io.Writer, o bench.Options) { bench.AblationZeRO(w, o) },
 }
 
 // order fixes the presentation sequence for -experiment all.
@@ -63,54 +63,10 @@ var order = []string{
 	"table1", "fig3", "fig4", "fig9", "fig10a", "fig10b", "fig11", "fig12",
 	"table4", "fig13", "fig14", "table5", "fig15", "fig17", "fig18", "fig20", "appc1",
 	"abl-pilot", "abl-capacity", "abl-rbd-ep", "abl-overlap", "abl-overlap-bwd",
-	"abl-faults", "abl-engine-delta",
-}
-
-// jsonRecord is one experiment's machine-readable result.
-type jsonRecord struct {
-	Experiment  string `json:"experiment"`
-	NsPerOp     int64  `json:"ns_op"`
-	AllocsPerOp int64  `json:"allocs_op"`
-	BytesPerOp  int64  `json:"bytes_op"`
-	// Simulated holds the experiment's headline simulated metrics
-	// (e.g. TFLOPs/GPU, layer forward ms), keyed by metric name.
-	Simulated map[string]float64 `json:"simulated,omitempty"`
-	// Engine is the cost engine the simulated metrics are attributable
-	// to: "analytic" or an "event:*" topology-graph engine.
-	Engine    string `json:"engine"`
-	Quick     bool   `json:"quick"`
-	Seed      uint64 `json:"seed"`
-	Timestamp string `json:"timestamp"`
+	"abl-faults", "abl-engine-delta", "abl-zero",
 }
 
 const jsonPath = "BENCH_results.json"
-
-// writeJSON appends records to BENCH_results.json (one JSON array,
-// rewritten whole so the file stays valid JSON).
-func writeJSON(records []jsonRecord) error {
-	var existing []jsonRecord
-	if data, err := os.ReadFile(jsonPath); err == nil {
-		if uerr := json.Unmarshal(data, &existing); uerr != nil {
-			// Never silently erase the accumulated trajectory: set the
-			// unreadable file aside and start a fresh history.
-			backup := jsonPath + ".corrupt"
-			if rerr := os.Rename(jsonPath, backup); rerr == nil {
-				fmt.Fprintf(os.Stderr, "warning: %s is not valid JSON (%v); moved it to %s and starting fresh\n",
-					jsonPath, uerr, backup)
-			} else {
-				fmt.Fprintf(os.Stderr, "warning: %s is not valid JSON (%v) and could not be moved aside (%v); it will be overwritten\n",
-					jsonPath, uerr, rerr)
-			}
-			existing = nil
-		}
-	}
-	existing = append(existing, records...)
-	data, err := json.MarshalIndent(existing, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
-}
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (or 'all'); see -list")
@@ -161,7 +117,7 @@ func main() {
 	}
 
 	opts := bench.Options{Seed: *seed, Quick: *quick, Chunks: chunks, Engine: *engine}
-	var records []jsonRecord
+	var records []bench.Record
 	run := func(name string) {
 		fn, ok := experiments[name]
 		if !ok {
@@ -179,7 +135,7 @@ func main() {
 					fn(io.Discard, opts)
 				}
 			})
-			records = append(records, jsonRecord{
+			records = append(records, bench.Record{
 				Experiment:  name,
 				NsPerOp:     res.NsPerOp(),
 				AllocsPerOp: res.AllocsPerOp(),
@@ -203,7 +159,7 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		if err := writeJSON(records); err != nil {
+		if err := bench.AppendResults(jsonPath, records); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", jsonPath, err)
 			os.Exit(1)
 		}

@@ -31,7 +31,7 @@ import (
 // drawn for -mtbf), checkpointing every -ckpt-every steps, recovering
 // from crashes by rollback + elastic shrink, and reporting goodput.
 func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
-	faults string, mtbf float64, ckptEvery int) {
+	faults string, mtbf float64, ckptEvery int, zeroStage int, bucketMB int64, momentum float64) {
 
 	sh := model.Small()
 	cfg := train.DistConfig{
@@ -43,6 +43,7 @@ func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
 		World: world, Tokens: tokens, LR: 1e-2, Seed: seed,
 		Transport: transport,
 		Opts:      moe.PipelineOpts{OverlapChunks: overlap},
+		ZeROStage: zeroStage, BucketBytes: bucketMB << 20, Momentum: momentum,
 	}
 	if err := cfg.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -95,7 +96,9 @@ func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
 // cost engine for the timing-at-scale replay (bench.NewEngine vocabulary);
 // the numeric loss runs always use the analytic fast path, which the
 // event engine is cross-validated against.
-func runDist(transport string, world, tokens, overlap, iters int, seed uint64, engine string) {
+func runDist(transport string, world, tokens, overlap, iters int, seed uint64, engine string,
+	zeroStage int, bucketMB int64, momentum float64) {
+
 	sh := model.Small()
 	mk := func(chunks int) train.DistConfig {
 		return train.DistConfig{
@@ -107,6 +110,7 @@ func runDist(transport string, world, tokens, overlap, iters int, seed uint64, e
 			World: world, Tokens: tokens, LR: 1e-2, Seed: seed,
 			Transport: transport,
 			Opts:      moe.PipelineOpts{OverlapChunks: chunks},
+			ZeROStage: zeroStage, BucketBytes: bucketMB << 20, Momentum: momentum,
 		}
 	}
 	// Validate the flag-derived options before entering any SPMD body so
@@ -202,19 +206,23 @@ func main() {
 	mtbf := flag.Float64("mtbf", 0, "distributed mode: draw Poisson crash arrivals with this mean-time-between-failures in simulated seconds (implies fault-tolerant run)")
 	ckptEvery := flag.Int("ckpt-every", 5, "fault-tolerant mode: checkpoint every N steps")
 	engine := flag.String("engine", "analytic", "distributed mode: cost engine for the timing-at-scale replay ("+bench.EngineSpecs+")")
+	zeroStage := flag.Int("zero", 0, "distributed mode: ZeRO stage (0 = replicated, 1 = sharded optimizer state, 2 = + sharded gradients)")
+	bucketMB := flag.Int64("bucket-mb", 0, "distributed mode: gradient-sync bucket size in MiB (0 = one bucket per stream)")
+	momentum := flag.Float64("momentum", 0, "distributed mode: SGD momentum (its state shards under -zero >= 1)")
 	flag.Parse()
 
 	if *dist {
 		if *faults != "" || *mtbf > 0 {
 			runDistFT(*transport, *world, *tokens, *overlap, *distIters, *seed,
-				*faults, *mtbf, *ckptEvery)
+				*faults, *mtbf, *ckptEvery, *zeroStage, *bucketMB, *momentum)
 			return
 		}
 		if _, err := bench.NewEngine(topology.Frontier(), *world, *engine); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		runDist(*transport, *world, *tokens, *overlap, *distIters, *seed, *engine)
+		runDist(*transport, *world, *tokens, *overlap, *distIters, *seed, *engine,
+			*zeroStage, *bucketMB, *momentum)
 		return
 	}
 

@@ -14,6 +14,7 @@ import (
 	"xmoe/internal/tensor"
 	"xmoe/internal/topology"
 	"xmoe/internal/trace"
+	"xmoe/internal/zero"
 )
 
 // RunSpec describes one training-throughput measurement point.
@@ -40,6 +41,21 @@ type RunSpec struct {
 	// fit device memory — used by layer-level microbenchmarks (Fig. 11)
 	// that the paper measures in isolation.
 	SkipMemCheck bool
+	// LegacyBackward selects the pre-fix backward estimate (2x forward
+	// compute + 1x identical communication scaled from the forward
+	// trace) instead of the real symbolic per-layer backward; kept so
+	// the sweeps can report the delta between the estimate and the
+	// simulated backward.
+	LegacyBackward bool
+	// BlockingGradSync disables the bucketed overlapped gradient sync
+	// and charges the classic blocking tail synchronisation after the
+	// last micro-step instead — the baseline the abl-zero ablation
+	// measures the overlap win against.
+	BlockingGradSync bool
+	// BucketBytes caps each gradient-sync bucket's wire size in the
+	// overlapped path; <= 0 syncs each layer's family gradient in one
+	// bucket.
+	BucketBytes int64
 }
 
 // memOverheadBytes is the fixed framework overhead per GPU (runtime
@@ -83,10 +99,12 @@ func isCommStage(name string) bool {
 }
 
 // SimulateStep estimates one training iteration of the given system and
-// spec: the memory-model OOM verdict, a one-layer SPMD simulation on the
-// virtual cluster (forward; backward charged as 2x compute + 1x identical
-// communication volume), scaled to the full depth, gradient accumulation,
-// and gradient synchronisation.
+// spec: the memory-model OOM verdict, a one-layer SPMD simulation of the
+// forward AND backward passes (real symbolic backward through
+// PFTBackward/PaddedBackward with bucketed, overlapped ZeRO gradient
+// sync — or the legacy forward-trace estimate when LegacyBackward is
+// set), scaled to the full depth, gradient accumulation, and the
+// end-of-iteration synchronisation tails.
 func SimulateStep(sys Config, spec RunSpec) StepResult {
 	if err := spec.Plan.Validate(); err != nil {
 		return StepResult{Err: err}
@@ -111,11 +129,420 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 		return res
 	}
 
-	// --- One-layer SPMD simulation -----------------------------------------
+	if spec.LegacyBackward {
+		return simulateStepLegacy(sys, spec, res)
+	}
+	return simulateStepReal(sys, spec, res)
+}
+
+// layerRun is one full-layer (fwd+bwd) SPMD simulation outcome.
+type layerRun struct {
+	cluster *simrt.Cluster
+	// wall is the slowest rank's fwd+bwd clock.
+	wall float64
+	// fwdBreakdown is the per-stage forward time averaged over ranks
+	// (snapshotted before the backward so Fig. 11 stays pure-forward).
+	fwdBreakdown map[string]float64
+	err          error
+}
+
+// gradFamilies returns the per-layer gradient bytes of the expert and
+// dense parameter families plus the once-per-model embedding bytes,
+// under the plan's sharding (bf16 gradients, matching the memmodel).
+func gradFamilies(sh model.Shape, plan parallel.Plan) (expertPerLayer, densePerLayer, embedding int64) {
+	expertPerLayer = sh.ExpertParamsPerLayer() / int64(plan.EP) * 2
+	densePerLayer = (sh.AttentionParamsPerLayer()/int64(plan.TP) + sh.RouterParamsPerLayer()) * 2
+	embedding = sh.EmbeddingParams() / int64(plan.TP) * 2
+	return
+}
+
+// simulateStepReal is the fixed estimator: one simulated transformer
+// layer runs its real forward and its real symbolic backward (mirrored
+// all-to-alls, dW/dX GEMM costs) on the cluster. Gradient sync either
+// overlaps the backward (bucketed async reduce issued from the
+// backward's OnDWReady hook, ZeRO stage from the plan) or, with
+// BlockingGradSync, is charged as the classic blocking tail.
+func simulateStepReal(sys Config, spec RunSpec, res StepResult) StepResult {
+	expertPerLayer, densePerLayer, embedBytes := gradFamilies(spec.Shape, spec.Plan)
+	edpGroups := spec.Plan.ExpertDPGroups()
+	dpGroups := spec.Plan.DPGroups()
+	hasEDP := len(edpGroups) > 0 && len(edpGroups[0]) > 1
+	hasDP := len(dpGroups) > 0 && len(dpGroups[0]) > 1
+
+	dataDP := spec.World / spec.Plan.TP
+	microSteps := spec.GlobalBatch / (spec.MicroBatch * dataDP)
+	if microSteps < 1 {
+		microSteps = 1
+	}
+
+	withSync := !spec.BlockingGradSync && (hasEDP || hasDP)
+	primary := runFullLayer(sys, spec, withSync)
+	if primary.err != nil {
+		return StepResult{Err: primary.err}
+	}
+	layerSync := primary.wall
+	layerNoSync := primary.wall
+	if withSync && microSteps > 1 {
+		// Accumulation steps before the last run the same layer without
+		// gradient sync (grads sync once per iteration); a second run
+		// prices that layer.
+		plain := runFullLayer(sys, spec, false)
+		if plain.err != nil {
+			return StepResult{Err: plain.err}
+		}
+		layerNoSync = plain.wall
+	}
+	res.LayerForward = primary.fwdBreakdown
+
+	// Fixed per-micro-step overhead: optimizer bookkeeping, data loading,
+	// host-side launch gaps between layers.
+	const microOverhead = 0.03
+	net := primary.cluster.Net
+	layers := float64(spec.Shape.Layers)
+
+	// Synchronisation tails shared by both sync modes: the embedding
+	// gradient (not covered by the per-layer sync) and, at ZeRO stages
+	// 1/2, the post-step parameter all-gather republishing the shards
+	// updated by their owners.
+	var tail float64
+	gradTail := func(ranks []int, bytes int64) float64 {
+		if spec.Plan.ZeROStage >= 2 {
+			return net.ReduceScatter(ranks, bytes).Seconds
+		}
+		return net.AllReduce(ranks, bytes).Seconds
+	}
+	agTail := func(ranks []int, paramBytes int64) float64 {
+		per := make([]int64, len(ranks))
+		base, rem := paramBytes/int64(len(ranks)), paramBytes%int64(len(ranks))
+		for i := range per {
+			per[i] = base
+			if int64(i) < rem {
+				per[i]++
+			}
+		}
+		return net.AllGather(ranks, per).Seconds
+	}
+	if hasDP && embedBytes > 0 {
+		tail += gradTail(dpGroups[0], embedBytes)
+	}
+	if spec.Plan.ZeROStage >= 1 {
+		if hasEDP {
+			tail += agTail(edpGroups[0], int64(spec.Shape.Layers)*expertPerLayer)
+		}
+		if hasDP {
+			tail += agTail(dpGroups[0], int64(spec.Shape.Layers)*densePerLayer+embedBytes)
+		}
+	}
+
+	res.MicroSteps = microSteps
+	if withSync {
+		res.IterSeconds = float64(microSteps-1)*(layers*layerNoSync+microOverhead) +
+			(layers*layerSync + microOverhead) + tail
+	} else {
+		// Blocking mode: every micro-step runs sync-free, then the whole
+		// family gradients synchronise serially at the end.
+		var syncTime float64
+		if hasEDP {
+			syncTime += gradTail(edpGroups[0], int64(spec.Shape.Layers)*expertPerLayer)
+		}
+		if hasDP {
+			syncTime += gradTail(dpGroups[0], int64(spec.Shape.Layers)*densePerLayer)
+		}
+		res.IterSeconds = float64(microSteps)*(layers*layerNoSync+microOverhead) + syncTime + tail
+	}
+
+	finishThroughput(&res, spec, dataDP)
+	return res
+}
+
+// runFullLayer simulates one transformer layer's forward and backward on
+// a fresh cluster, optionally with the bucketed overlapped gradient sync
+// issued from the backward.
+func runFullLayer(sys Config, spec RunSpec, withSync bool) layerRun {
 	cluster := simrt.NewCluster(spec.Machine, spec.World, spec.Seed)
 	cluster.Net.DisableCongestion = !spec.Congestion
 	// One simulated layer stands for all layers, so congestion must enter
 	// as its expectation rather than a single sample.
+	cluster.Net.ExpectedCongestion = true
+
+	epOfRank := make([]*simrt.Group, spec.World)
+	epGroups := make([]*simrt.Group, 0)
+	for _, ranks := range spec.Plan.EPGroups() {
+		g := cluster.NewGroup(ranks)
+		epGroups = append(epGroups, g)
+		for _, r := range ranks {
+			epOfRank[r] = g
+		}
+	}
+	tpOfRank := make([]*simrt.Group, spec.World)
+	if spec.Plan.TP > 1 {
+		for _, ranks := range spec.Plan.TPGroups() {
+			g := cluster.NewGroup(ranks)
+			for _, r := range ranks {
+				tpOfRank[r] = g
+			}
+		}
+	}
+	edpOfRank := make([]*simrt.Group, spec.World)
+	dpOfRank := make([]*simrt.Group, spec.World)
+	if withSync {
+		if gs := spec.Plan.ExpertDPGroups(); len(gs) > 0 && len(gs[0]) > 1 {
+			for _, ranks := range gs {
+				g := cluster.NewGroup(ranks)
+				for _, r := range ranks {
+					edpOfRank[r] = g
+				}
+			}
+		}
+		if gs := spec.Plan.DPGroups(); len(gs) > 0 && len(gs[0]) > 1 {
+			for _, ranks := range gs {
+				g := cluster.NewGroup(ranks)
+				for _, r := range ranks {
+					dpOfRank[r] = g
+				}
+			}
+		}
+	}
+
+	cfg := moe.Config{
+		NumExperts:     spec.Shape.NumExperts,
+		TopK:           spec.Shape.TopK,
+		HModel:         spec.Shape.HModel,
+		HFFN:           spec.Shape.HFFN,
+		CapacityFactor: 1.25,
+		BytesPerElem:   2,
+	}
+	var dispatchers map[*simrt.Group]*rbd.Dispatcher
+	if sys.RBD {
+		dispatchers = make(map[*simrt.Group]*rbd.Dispatcher, len(epGroups))
+		for _, g := range epGroups {
+			dispatchers[g] = rbd.NewDispatcher(cluster, g, cfg)
+		}
+	}
+
+	opts := sys.PipelineOpts()
+	opts.SaveForBackward = true
+	sTokens := spec.MicroBatch * spec.Shape.SeqLen
+	h := spec.Shape.HModel
+	expertPerLayer, densePerLayer, _ := gradFamilies(spec.Shape, spec.Plan)
+	zcfg := zero.Config{Stage: spec.Plan.ZeROStage, BucketBytes: spec.BucketBytes}
+
+	fwdBds := make([]map[string]float64, spec.World)
+
+	ranks, err := cluster.RunCollect(func(r *simrt.Rank) error {
+		comp := r.C.Comp
+		ep := epOfRank[r.ID]
+		tp := tpOfRank[r.ID]
+		tpDeg := spec.Plan.TP
+
+		denseGemm := comp.GEMM(sTokens, h, 4*h/tpDeg) +
+			comp.GEMM(sTokens, h/tpDeg, spec.Shape.SeqLen) +
+			comp.GEMM(sTokens, spec.Shape.SeqLen, h/tpDeg)
+		denseFwd := func() {
+			// Dense (attention) block: QKV/output projections plus
+			// score/context GEMMs, TP-sharded, followed by the TP
+			// all-reduce on the block output.
+			r.Compute("dense_gemm", denseGemm)
+			// Norms, residuals, dropout and other elementwise traffic
+			// around the block.
+			r.Kernel("dense_elemwise", perfmodel.ClassVendor, 6*int64(sTokens)*int64(h)*2)
+			if tp != nil {
+				r.AllReduce(tp, "tp_allreduce", nil, int64(sTokens)*int64(h)*2)
+			}
+		}
+
+		// MoE block forward, with state capture for the backward.
+		routing := func(n int, seedOff uint64) moe.Routing {
+			return moe.SyntheticRouting(tensor.NewRNG(spec.Seed+uint64(r.ID)*31+seedOff),
+				n, cfg.NumExperts, cfg.TopK, 0.6)
+		}
+		var pftState *moe.PFTFwdState
+		var padState *moe.PaddedFwdState
+		var rbdPFT *moe.PFT
+		runInner := func(n int) {
+			rt := routing(n, 7)
+			switch {
+			case sys.RBD:
+				lr := rbd.Forward(r, dispatchers[ep], cfg, n, nil, rt, nil,
+					tensor.NewRNG(spec.Seed^uint64(r.ID)), opts)
+				rbdPFT = lr.PFT
+			case sys.Pipeline == memmodel.PipelinePFT:
+				lr := moe.PFTForward(r, ep, cfg, n, nil, rt, nil, opts)
+				pftState = lr.State
+			default:
+				lr := moe.PaddedForward(r, ep, cfg, n, nil, rt, nil, opts)
+				padState = lr.PaddedState
+			}
+		}
+		moeFwd := func() {
+			if sys.SSMB && tp != nil {
+				parallel.SSMBForward(r, tp, sTokens, h, cfg.BytesPerElem, nil,
+					func(lo, hi int, _ *tensor.Tensor) *tensor.Tensor {
+						runInner(hi - lo)
+						return nil
+					})
+			} else {
+				runInner(sTokens)
+			}
+		}
+		denseFwd()
+		moeFwd()
+
+		// Snapshot the forward-only per-stage breakdown (Fig. 11's
+		// quantity) before any backward or recompute charges land.
+		snap := make(map[string]float64)
+		for name, d := range r.Trace.Breakdown() {
+			snap[name] = d
+		}
+		fwdBds[r.ID] = snap
+
+		// --- Backward ------------------------------------------------------
+		if spec.ActCkpt {
+			// Recomputation replays the whole layer forward, including
+			// the two MoE all-to-alls (§4.3's argument against
+			// checkpointing MoE blocks).
+			denseFwd()
+			moeFwd()
+		}
+
+		var esync, dsync *zero.Syncer
+		if withSync {
+			if g := edpOfRank[r.ID]; g != nil {
+				esync = zero.NewSyncer(r, g, "egrad_sync", zcfg)
+			}
+			if g := dpOfRank[r.ID]; g != nil {
+				dsync = zero.NewSyncer(r, g, "dgrad_sync", zcfg)
+			}
+		}
+		syncIssue := func() {
+			if esync != nil {
+				esync.Add(nil, expertPerLayer)
+				esync.Flush()
+			}
+			if dsync != nil {
+				dsync.Add(nil, densePerLayer)
+				dsync.Flush()
+			}
+		}
+
+		moeBwd := func(n int, bopts moe.PipelineOpts) {
+			switch {
+			case sys.RBD:
+				// RBD saves no flat-exchange state; rebuild the PFT
+				// geometry with a charged metadata exchange and price the
+				// backward with the mirrored flat transport.
+				st := pftGeometry(r, ep, cfg, n, rbdPFT)
+				moe.PFTBackward(r, ep, cfg, st, nil, nil, bopts)
+			case sys.Pipeline == memmodel.PipelinePFT:
+				moe.PFTBackward(r, ep, cfg, pftState, nil, nil, bopts)
+			default:
+				moe.PaddedBackward(r, ep, cfg, padState, nil, nil, bopts)
+			}
+		}
+		if sys.SSMB && tp != nil {
+			parallel.SSMBBackward(r, tp, sTokens, h, cfg.BytesPerElem, nil,
+				func(lo, hi int, _ *tensor.Tensor) *tensor.Tensor {
+					moeBwd(hi-lo, opts)
+					return nil
+				})
+			// The SSMB backward ends in a blocking all-gather that would
+			// absorb an earlier sync issue; fire the hook after it.
+			syncIssue()
+		} else {
+			bopts := opts
+			if withSync {
+				bopts.OnDWReady = syncIssue
+			} else {
+				bopts.OnDWReady = nil
+			}
+			moeBwd(sTokens, bopts)
+		}
+		// Gate backward: dScores GEMM + dX GEMM of the [n, H] x [H, E]
+		// gating projection.
+		r.Compute("bwd_gate", 2*comp.GEMM(sTokens, h, cfg.NumExperts))
+
+		// Dense block backward: dX and dW GEMMs (2x the forward GEMM
+		// volume), mirrored elementwise traffic, and the TP gradient
+		// all-reduce.
+		r.Compute("dense_bwd_gemm", 2*denseGemm)
+		r.Kernel("dense_bwd_elemwise", perfmodel.ClassVendor, 6*int64(sTokens)*int64(h)*2)
+		if tp != nil {
+			r.AllReduce(tp, "tp_bwd_allreduce", nil, int64(sTokens)*int64(h)*2)
+		}
+
+		if esync != nil {
+			esync.Wait()
+		}
+		if dsync != nil {
+			dsync.Wait()
+		}
+		return nil
+	})
+	if err != nil {
+		return layerRun{err: err}
+	}
+
+	out := layerRun{cluster: cluster, fwdBreakdown: trace.MergeMaps(fwdBds, true)}
+	for _, rk := range ranks {
+		if rk.Clock > out.wall {
+			out.wall = rk.Clock
+		}
+	}
+	return out
+}
+
+// pftGeometry reconstructs the PFT backward's exchange segmentation from
+// the routing (for transports that save no flat-exchange state): one
+// charged metadata all-to-all carrying per-local-expert row counts, the
+// backward analogue of the forward tokens_per_expert exchange.
+func pftGeometry(r *simrt.Rank, g *simrt.Group, cfg moe.Config, n int, pft *moe.PFT) *moe.PFTFwdState {
+	p := g.Size()
+	epr := cfg.NumExperts / p
+	send := make([]simrt.Part, p)
+	for dst := 0; dst < p; dst++ {
+		counts := make([]int, epr)
+		for le := 0; le < epr; le++ {
+			counts[le] = pft.TokensPerExpert[dst*epr+le]
+		}
+		send[dst] = simrt.Part{Meta: counts, Bytes: int64(8 * epr)}
+	}
+	recv := r.AlltoAllV(g, "bwd_geom_a2a", send)
+	recvCounts := make([][]int, p)
+	for src := range recv {
+		recvCounts[src] = recv[src].Meta.([]int)
+	}
+	rowsPerLE := make([]int, epr)
+	blockOff := make([][]int, epr)
+	off := 0
+	for le := 0; le < epr; le++ {
+		blockOff[le] = make([]int, p)
+		for src := 0; src < p; src++ {
+			blockOff[le][src] = off
+			off += recvCounts[src][le]
+			rowsPerLE[le] += recvCounts[src][le]
+		}
+	}
+	return &moe.PFTFwdState{S: n, PFT: pft, RecvCounts: recvCounts, BlockOff: blockOff, RowsPerLE: rowsPerLE}
+}
+
+// finishThroughput fills the FLOPs-derived fields from IterSeconds.
+func finishThroughput(res *StepResult, spec RunSpec, dataDP int) {
+	tokens := float64(spec.GlobalBatch) * float64(spec.Shape.SeqLen)
+	if spec.GlobalBatch < spec.MicroBatch*dataDP {
+		tokens = float64(spec.MicroBatch*dataDP) * float64(spec.Shape.SeqLen)
+	}
+	flops := spec.Shape.FLOPsPerToken() * tokens
+	res.TFLOPsPerGPU = flops / res.IterSeconds / float64(spec.World) / 1e12
+	res.AggPFLOPs = flops / res.IterSeconds / 1e15
+}
+
+// simulateStepLegacy is the pre-fix estimator, kept behind
+// RunSpec.LegacyBackward for delta reporting: forward-only simulation
+// with the backward charged as 2x compute + 1x identical communication
+// and a blocking gradient-sync tail.
+func simulateStepLegacy(sys Config, spec RunSpec, res StepResult) StepResult {
+	cluster := simrt.NewCluster(spec.Machine, spec.World, spec.Seed)
+	cluster.Net.DisableCongestion = !spec.Congestion
 	cluster.Net.ExpectedCongestion = true
 
 	epGroups := make([]*simrt.Group, 0)
@@ -164,22 +591,16 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 		ep := groupOfRank[r.ID]
 		tp := tpOfRank[r.ID]
 
-		// Dense (attention) block: QKV/output projections plus
-		// score/context GEMMs, TP-sharded, followed by the TP
-		// all-reduce on the block output.
 		tpDeg := spec.Plan.TP
 		r.Compute("dense_gemm",
 			comp.GEMM(sTokens, h, 4*h/tpDeg)+
 				comp.GEMM(sTokens, h/tpDeg, spec.Shape.SeqLen)+
 				comp.GEMM(sTokens, spec.Shape.SeqLen, h/tpDeg))
-		// Norms, residuals, dropout and other elementwise traffic around
-		// the block.
 		r.Kernel("dense_elemwise", perfmodel.ClassVendor, 6*int64(sTokens)*int64(h)*2)
 		if tp != nil {
 			r.AllReduce(tp, "tp_allreduce", nil, int64(sTokens)*int64(h)*2)
 		}
 
-		// MoE block.
 		routing := func(n int, seedOff uint64) moe.Routing {
 			return moe.SyntheticRouting(tensor.NewRNG(spec.Seed+uint64(r.ID)*31+seedOff),
 				n, cfg.NumExperts, cfg.TopK, 0.6)
@@ -211,7 +632,6 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 		return StepResult{Err: err}
 	}
 
-	// --- Assemble iteration time -------------------------------------------
 	var layerFwd, layerBwd float64
 	for _, rk := range ranks {
 		var comm, compT float64
@@ -225,9 +645,6 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 		fwd := rk.Clock
 		bwd := 2*compT + comm
 		if spec.ActCkpt {
-			// Recomputation replays the forward pass, and checkpointed
-			// a2a activations cost two extra all-to-alls (§4.3's
-			// argument against checkpointing MoE blocks).
 			bwd += compT + comm
 		}
 		if fwd+bwd > layerFwd+layerBwd {
@@ -240,8 +657,6 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 	}
 	res.LayerForward = trace.Merge(recs, true)
 
-	// Fixed per-micro-step overhead: optimizer bookkeeping, data loading,
-	// host-side launch gaps between layers.
 	const microOverhead = 0.03
 	microTime := float64(spec.Shape.Layers)*(layerFwd+layerBwd) + microOverhead
 
@@ -251,8 +666,6 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 		microSteps = 1
 	}
 
-	// Gradient synchronisation (ZeRO-style reduce-scatter + all-gather ≈
-	// one all-reduce over each parameter family's replica group).
 	expertGradBytes := int64(spec.Shape.Layers) * spec.Shape.ExpertParamsPerLayer() / int64(spec.Plan.EP) * 2
 	denseGradBytes := (int64(spec.Shape.Layers)*(spec.Shape.AttentionParamsPerLayer()/int64(spec.Plan.TP)+spec.Shape.RouterParamsPerLayer()) +
 		spec.Shape.EmbeddingParams()/int64(spec.Plan.TP)) * 2
@@ -266,14 +679,7 @@ func SimulateStep(sys Config, spec RunSpec) StepResult {
 
 	res.MicroSteps = microSteps
 	res.IterSeconds = float64(microSteps)*microTime + syncTime
-
-	tokens := float64(spec.GlobalBatch) * float64(spec.Shape.SeqLen)
-	if spec.GlobalBatch < spec.MicroBatch*dataDP {
-		tokens = float64(spec.MicroBatch*dataDP) * float64(spec.Shape.SeqLen)
-	}
-	flops := spec.Shape.FLOPsPerToken() * tokens
-	res.TFLOPsPerGPU = flops / res.IterSeconds / float64(spec.World) / 1e12
-	res.AggPFLOPs = flops / res.IterSeconds / 1e15
+	finishThroughput(&res, spec, dataDP)
 	return res
 }
 

@@ -75,38 +75,63 @@ const (
 	optBytes   = 12 // fp32 master copy + Adam m/v per parameter
 )
 
+// StateBytes itemises one parameter family's per-rank model-state
+// footprint: parameters, gradients, and optimizer state.
+type StateBytes struct {
+	Params, Grads, Opt int64
+}
+
+// Total sums the three state classes.
+func (s StateBytes) Total() int64 { return s.Params + s.Grads + s.Opt }
+
+// Add accumulates another family's states.
+func (s StateBytes) Add(o StateBytes) StateBytes {
+	return StateBytes{s.Params + o.Params, s.Grads + o.Grads, s.Opt + o.Opt}
+}
+
+// ZeROStates predicts the peak-rank model-state bytes of one parameter
+// family of `params` elements replicated over a data-parallel group of
+// size dp under the given ZeRO stage: stage 1 shards the optimizer
+// state across the group, stage 2 additionally shards the gradients,
+// parameters stay replicated (republished by the post-step all-gather).
+// Sharding uses ceil division — the leading ranks own the remainder
+// elements under the ShardRange convention, so ceil is the peak rank's
+// share, the quantity memory verdicts must bound.
+func ZeROStates(params int64, dp, stage int, bytesParam, bytesGrad, bytesOpt int64) StateBytes {
+	d := int64(dp)
+	if d < 1 {
+		d = 1
+	}
+	shard := func(n int64) int64 { return (n + d - 1) / d }
+	s := StateBytes{Params: params * bytesParam, Grads: params * bytesGrad, Opt: params * bytesOpt}
+	if stage >= 1 {
+		s.Opt = shard(params) * bytesOpt
+	}
+	if stage >= 2 {
+		s.Grads = shard(params) * bytesGrad
+	}
+	return s
+}
+
 // ModelStates returns the per-GPU bytes of parameters, gradients and
 // optimizer states under the plan's TP/EP sharding and ZeRO stage. Expert
 // parameters shard over EP and their optimizer (and ZeRO-2 gradients)
 // over the expert-DP group; dense parameters shard over TP and their
 // optimizer over the dense DP group.
 func ModelStates(sh model.Shape, st Setup) int64 {
+	return ModelStatesBreakdown(sh, st).Total()
+}
+
+// ModelStatesBreakdown is ModelStates itemised by state class, the
+// quantity the abl-zero ablation reports per ZeRO stage.
+func ModelStatesBreakdown(sh model.Shape, st Setup) StateBytes {
 	plan := st.Plan
 	expertParams := int64(sh.Layers) * sh.ExpertParamsPerLayer() / int64(plan.EP)
 	denseParams := int64(sh.Layers)*(sh.AttentionParamsPerLayer()/int64(plan.TP)+sh.RouterParamsPerLayer()) +
 		sh.EmbeddingParams()/int64(plan.TP)
-
-	expertDP := int64(plan.ExpertDP())
-	denseDP := int64(plan.DP())
-	if expertDP < 1 {
-		expertDP = 1
-	}
-	if denseDP < 1 {
-		denseDP = 1
-	}
-
-	bytes := expertParams*paramBytes + denseParams*paramBytes
-	switch plan.ZeROStage {
-	case 2:
-		bytes += expertParams*gradBytes/expertDP + denseParams*gradBytes/denseDP
-		bytes += expertParams*optBytes/expertDP + denseParams*optBytes/denseDP
-	case 1:
-		bytes += expertParams*gradBytes + denseParams*gradBytes
-		bytes += expertParams*optBytes/expertDP + denseParams*optBytes/denseDP
-	default: // no ZeRO: everything replicated within DP
-		bytes += expertParams*(gradBytes+optBytes) + denseParams*(gradBytes+optBytes)
-	}
-	return bytes
+	expert := ZeROStates(expertParams, plan.ExpertDP(), plan.ZeROStage, paramBytes, gradBytes, optBytes)
+	dense := ZeROStates(denseParams, plan.DP(), plan.ZeROStage, paramBytes, gradBytes, optBytes)
+	return expert.Add(dense)
 }
 
 // MoEBreakdown itemises one MoE layer's activation memory per GPU,

@@ -173,6 +173,12 @@ func PFTBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdState,
 		pool.Put(dExpertIn)
 	}
 	back := r.AlltoAllV(g, StageBwdDispA2A, sendBack)
+	if opts.OnDWReady != nil {
+		// dW is complete and the backward's last blocking collective has
+		// retired: gradient sync issued here overlaps the gather backward
+		// and every earlier layer's backward compute.
+		opts.OnDWReady()
+	}
 
 	var dx *tensor.Tensor
 	if opts.Numeric {
@@ -417,6 +423,13 @@ func pftBackwardOverlap(r *simrt.Rank, g *simrt.Group, cfg Config, st *PFTFwdSta
 			off += rows
 		}
 		pool.PutAll(dExpertOut, dHidAct, dHidPre, dExpertIn)
+	}
+	if opts.OnDWReady != nil {
+		// dW is complete; the only remaining collectives are the already
+		// in-flight reverse dispatch chunks, so gradient sync issued here
+		// queues behind them on the comm stream and overlaps the drain
+		// and gather backward.
+		opts.OnDWReady()
 	}
 
 	// --- Drain the reverse dispatch chunks into dDispIn -------------------

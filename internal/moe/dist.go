@@ -75,6 +75,14 @@ type PipelineOpts struct {
 	// passes accept the same chunk count to overlap their mirrored
 	// all-to-alls (see PFTBackward).
 	OverlapChunks int
+	// OnDWReady, when set, is invoked exactly once per backward pass
+	// (PFTBackward / PaddedBackward, blocking or chunked) at the point
+	// where the layer's weight gradients are complete and the backward's
+	// last blocking collective has retired — the hook point for issuing
+	// bucketed asynchronous gradient synchronisation (internal/zero) so
+	// the sync overlaps the remaining backward compute instead of
+	// serialising after it. Forward-only calls never invoke it.
+	OnDWReady func()
 }
 
 // maxOverlapChunks bounds the chunk count: beyond this, per-chunk launch

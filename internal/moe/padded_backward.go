@@ -228,6 +228,14 @@ func PaddedBackward(r *simrt.Rank, g *simrt.Group, cfg Config, st *PaddedFwdStat
 		}
 		pool.PutAll(dExpertOut, dHidAct, dHidPre, dExpertIn, dFull)
 	}
+	if opts.OnDWReady != nil {
+		// dW is complete and the last blocking collective has retired
+		// (chunks == 1: the reverse dispatch already exchanged above;
+		// chunked: only async chunk transfers remain in flight), so
+		// gradient sync issued here overlaps the drain and the unpad
+		// backward.
+		opts.OnDWReady()
+	}
 
 	// --- Drain reverse chunks into the dispatch-buffer gradient -----------
 	var dDispBuf *tensor.Tensor

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"testing"
+
+	"xmoe/internal/topology"
+)
+
+// sumByClass accumulates per-link-class byte totals across several costs.
+func sumByClass(costs []Cost) map[topology.LinkClass]int64 {
+	out := map[topology.LinkClass]int64{}
+	for _, c := range costs {
+		for cls, b := range c.BytesByClass {
+			out[cls] += b
+		}
+	}
+	return out
+}
+
+// TestBucketedReduceScatterBytesInvariant pins the ZeRO gradient-sync
+// wire accounting: splitting a reduce-scatter into equal buckets moves
+// exactly the same bytes per link class as one collective of the total —
+// the aggregate per-link-class convention the breakdown figures rely on.
+func TestBucketedReduceScatterBytesInvariant(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	ranks := ranksRange(16) // spans 2 nodes on Frontier
+	const total = int64(64 << 20)
+	const buckets = 8
+	whole := n.ReduceScatter(ranks, total)
+	parts := make([]Cost, buckets)
+	for i := range parts {
+		parts[i] = n.ReduceScatter(ranks, total/buckets)
+	}
+	got := sumByClass(parts)
+	for cls, want := range whole.BytesByClass {
+		if got[cls] != want {
+			t.Fatalf("link class %v: %d bucketed reduce-scatters move %d bytes, one collective moves %d",
+				cls, buckets, got[cls], want)
+		}
+	}
+	if len(got) != len(whole.BytesByClass) {
+		t.Fatalf("bucketed path touched %d link classes, unbucketed %d", len(got), len(whole.BytesByClass))
+	}
+	if whole.InterNodeBytes() == 0 {
+		t.Fatal("16-rank reduce-scatter must cross node boundaries")
+	}
+}
+
+// TestBucketedAllGatherBytesInvariant is the same invariant for the
+// post-step parameter all-gather.
+func TestBucketedAllGatherBytesInvariant(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	ranks := ranksRange(16)
+	const perRank = int64(4 << 20)
+	const buckets = 4
+	even := func(b int64) []int64 {
+		out := make([]int64, len(ranks))
+		for i := range out {
+			out[i] = b
+		}
+		return out
+	}
+	whole := n.AllGather(ranks, even(perRank))
+	parts := make([]Cost, buckets)
+	for i := range parts {
+		parts[i] = n.AllGather(ranks, even(perRank/buckets))
+	}
+	got := sumByClass(parts)
+	for cls, want := range whole.BytesByClass {
+		if got[cls] != want {
+			t.Fatalf("link class %v: %d bucketed all-gathers move %d bytes, one collective moves %d",
+				cls, buckets, got[cls], want)
+		}
+	}
+	if len(got) != len(whole.BytesByClass) {
+		t.Fatalf("bucketed path touched %d link classes, unbucketed %d", len(got), len(whole.BytesByClass))
+	}
+}
+
+// TestBucketedLatencyCost documents the modelled tradeoff the bucket-size
+// ablation sweeps: bucketing never reduces wire bytes, so its only cost
+// is per-collective latency — many small collectives take at least as
+// long in sum as one large one.
+func TestBucketedLatencyCost(t *testing.T) {
+	n := newQuiet(topology.Frontier())
+	ranks := ranksRange(16)
+	const total = int64(64 << 20)
+	const buckets = 16
+	whole := n.ReduceScatter(ranks, total).Seconds
+	var sum float64
+	for i := 0; i < buckets; i++ {
+		sum += n.ReduceScatter(ranks, total/buckets).Seconds
+	}
+	if sum < whole {
+		t.Fatalf("sum of %d bucketed reduce-scatters (%.6fs) beats one collective (%.6fs): latency vanished",
+			buckets, sum, whole)
+	}
+}

@@ -1,0 +1,200 @@
+package simrt
+
+import (
+	"xmoe/internal/netsim"
+)
+
+// Non-blocking reduction collectives, the transport layer of ZeRO-style
+// bucketed gradient synchronisation (Megatron Core's bucketed DDP,
+// DeepSpeed's ZeRO-1/2): a backward pass issues one all-reduce (stage
+// 0/1) or reduce-scatter (stage 2) per gradient bucket as its dW GEMMs
+// complete, and the optimizer step waits the handles, paying only the
+// part of the sync the remaining backward compute did not cover. The
+// timing model is identical to AlltoAllVAsync's (issue at the current
+// clock, start at the group's max of entry clocks and comm-stream
+// horizons, Wait charges the uncovered remainder), and the *values* are
+// identical to the blocking collectives' — the reducers below reuse the
+// exact member-order elementwise summation of Rank.AllReduce, so a
+// bucketed async sync is bit-identical to one blocking all-reduce over
+// the concatenated gradients for any bucket size.
+
+// reduceAsyncEntry is one rank's deposit for a non-blocking reduction:
+// its contribution plus its comm-stream horizon.
+type reduceAsyncEntry struct {
+	data  []float32
+	bytes int64
+	busy  float64
+}
+
+// reduceAsyncResult is the shared result of an async reduction
+// rendezvous: the physical timeline plus the per-member received parts.
+type reduceAsyncResult struct {
+	cost       netsim.Cost
+	start, end float64
+	// recv[member] is what that member receives: the full sum for
+	// all-reduce, the member's owned shard for reduce-scatter.
+	recv []Part
+}
+
+// reduceStart returns the collective's physical start time: the max over
+// members of max(entry clock, comm-stream busy horizon).
+func reduceStart(entries []any, clocks []float64) float64 {
+	var start float64
+	for s, e := range entries {
+		ent := e.(reduceAsyncEntry)
+		if clocks[s] > start {
+			start = clocks[s]
+		}
+		if ent.busy > start {
+			start = ent.busy
+		}
+	}
+	return start
+}
+
+// reduceSum computes the member-order elementwise sum of the non-nil
+// deposits and the max per-rank byte size. The summation loop mirrors
+// Rank.AllReduce exactly so async and blocking reductions of the same
+// data are bit-identical.
+func reduceSum(entries []any) (sum []float32, maxBytes int64) {
+	for _, e := range entries {
+		ent := e.(reduceAsyncEntry)
+		if ent.bytes > maxBytes {
+			maxBytes = ent.bytes
+		}
+		if ent.data != nil {
+			if sum == nil {
+				sum = make([]float32, len(ent.data))
+			}
+			for i, v := range ent.data {
+				sum[i] += v
+			}
+		}
+	}
+	return sum, maxBytes
+}
+
+// issueReduce finishes issuing an async reduction on the rank side:
+// advances the comm-stream horizon and registers the handle for leak
+// detection, like AlltoAllVAsync.
+func (r *Rank) issueReduce(name string, res reduceAsyncResult, idx int) *CommHandle {
+	r.commBusyUntil = res.end
+	h := &CommHandle{
+		r:        r,
+		name:     name,
+		issuedAt: r.Clock,
+		start:    res.start,
+		end:      res.end,
+		recv:     []Part{res.recv[idx]},
+	}
+	r.issuedHandles = append(r.issuedHandles, h)
+	return h
+}
+
+// AllReduceAsync issues a non-blocking elementwise-sum all-reduce among
+// the group and returns immediately with a handle; Wait yields one Part
+// whose Data is the full sum (shared by all members — callers must copy,
+// never mutate). data may be nil in symbolic mode; bytes is the modeled
+// per-rank payload. Every member must issue the same collectives in the
+// same order (SPMD discipline).
+func (r *Rank) AllReduceAsync(g *Group, name string, data []float32, bytes int64) *CommHandle {
+	r.preCollective(name)
+	res := g.collectNoSync(r, name, reduceAsyncEntry{data: data, bytes: bytes, busy: r.commBusyUntil},
+		func(entries []any, clocks []float64) any {
+			start := reduceStart(entries, clocks)
+			sum, maxBytes := reduceSum(entries)
+			cost := g.c.CostEngine().AllReduce(g.ranks, maxBytes)
+			recv := make([]Part, len(entries))
+			for i := range recv {
+				recv[i] = Part{Data: sum, Bytes: maxBytes}
+			}
+			return reduceAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: recv}
+		}).(reduceAsyncResult)
+	return r.issueReduce(name, res, g.IndexOf(r.ID))
+}
+
+// ReduceScatterAsync issues a non-blocking reduce-scatter: the group's
+// deposits are summed elementwise (member order, bit-identical to
+// AllReduceAsync's full sum) and member i receives the ShardRange(len,
+// p, i) slice of the sum — the ZeRO-2 gradient-sharding primitive. The
+// returned shard aliases the shared sum; callers must copy before
+// mutating. data may be nil in symbolic mode; bytes is the full
+// (unsharded) per-rank payload, split across members with the same
+// remainder-to-leading-ranks convention netsim.ReduceScatter charges.
+func (r *Rank) ReduceScatterAsync(g *Group, name string, data []float32, bytes int64) *CommHandle {
+	r.preCollective(name)
+	res := g.collectNoSync(r, name, reduceAsyncEntry{data: data, bytes: bytes, busy: r.commBusyUntil},
+		func(entries []any, clocks []float64) any {
+			start := reduceStart(entries, clocks)
+			sum, maxBytes := reduceSum(entries)
+			cost := g.c.CostEngine().ReduceScatter(g.ranks, maxBytes)
+			p := len(entries)
+			recv := make([]Part, p)
+			for i := range recv {
+				bLo, bHi := ShardRange(int(maxBytes), p, i)
+				recv[i] = Part{Bytes: int64(bHi - bLo)}
+				if sum != nil {
+					lo, hi := ShardRange(len(sum), p, i)
+					recv[i].Data = sum[lo:hi]
+				}
+			}
+			return reduceAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: recv}
+		}).(reduceAsyncResult)
+	return r.issueReduce(name, res, g.IndexOf(r.ID))
+}
+
+// AllGatherAsync issues a non-blocking all-gather of one part per
+// member; Wait yields the full member-indexed list (shared — do not
+// mutate). It is the parameter-republication half of a sharded optimizer
+// step (ZeRO-1/2: each owner updates its shard, then all-gathers).
+func (r *Rank) AllGatherAsync(g *Group, name string, part Part) *CommHandle {
+	r.preCollective(name)
+	res := g.collectNoSync(r, name, reduceAsyncEntry{data: part.Data, bytes: part.Bytes, busy: r.commBusyUntil},
+		func(entries []any, clocks []float64) any {
+			start := reduceStart(entries, clocks)
+			parts := make([]Part, len(entries))
+			bytes := make([]int64, len(entries))
+			for i, e := range entries {
+				ent := e.(reduceAsyncEntry)
+				parts[i] = Part{Data: ent.data, Bytes: ent.bytes}
+				bytes[i] = ent.bytes
+			}
+			cost := g.c.CostEngine().AllGather(g.ranks, bytes)
+			return reduceAsyncResult{cost: cost, start: start, end: start + cost.Seconds, recv: parts}
+		}).(reduceAsyncResult)
+	// All members receive the full part list, not a per-member share.
+	r.commBusyUntil = res.end
+	h := &CommHandle{
+		r:        r,
+		name:     name,
+		issuedAt: r.Clock,
+		start:    res.start,
+		end:      res.end,
+		recv:     res.recv,
+	}
+	r.issuedHandles = append(r.issuedHandles, h)
+	return h
+}
+
+// ShardRange returns the half-open [lo, hi) range of member i's owned
+// shard when n elements are partitioned across p members: n/p each, with
+// the n%p remainder elements going to the leading members — the same
+// convention netsim.ReduceScatter uses to split the wire payload, so
+// element ownership and byte accounting agree.
+func ShardRange(n, p, i int) (lo, hi int) {
+	if p <= 1 {
+		return 0, n
+	}
+	base, rem := n/p, n%p
+	lo = i * base
+	if i < rem {
+		lo += i
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -215,3 +215,22 @@ func Merge(recorders []*Recorder, avg bool) map[string]float64 {
 	}
 	return out
 }
+
+// MergeMaps is Merge over already-materialised breakdown maps — used
+// when a caller snapshots Breakdown() mid-run (e.g. the forward-only
+// slice of a fwd+bwd trace) and aggregates the snapshots afterwards.
+func MergeMaps(maps []map[string]float64, avg bool) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range maps {
+		for name, d := range m {
+			out[name] += d
+		}
+	}
+	if avg && len(maps) > 0 {
+		inv := 1 / float64(len(maps))
+		for name := range out {
+			out[name] *= inv
+		}
+	}
+	return out
+}

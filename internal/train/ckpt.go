@@ -30,6 +30,14 @@ type Checkpoint struct {
 	DataRNG []tensor.RNGState
 	// NetRNG is the network simulator's RNG state.
 	NetRNG uint64
+	// VelW1, VelW2 hold the expert momentum state in global expert order
+	// and BiasVel the full dense velocity vector (reassembled from the
+	// per-rank ZeRO shards at capture). All nil when the trainer runs
+	// without momentum; Restore reshards them onto the current world and
+	// ZeRO geometry, so a checkpoint taken at one stage/bucket size
+	// restores onto any other.
+	VelW1, VelW2 []*tensor.Tensor
+	BiasVel      []float32
 }
 
 // Checkpoint captures the trainer's full training state. Call it only
@@ -52,6 +60,25 @@ func (t *DistTrainer) Checkpoint() *Checkpoint {
 		}
 		ck.DataRNG[rank] = t.dataRNG[rank].State()
 	}
+	if t.velW1 != nil {
+		ck.VelW1 = make([]*tensor.Tensor, e)
+		ck.VelW2 = make([]*tensor.Tensor, e)
+		ck.BiasVel = make([]float32, t.Cfg.MoE.HModel)
+		for rank := 0; rank < t.Cfg.World; rank++ {
+			for le := 0; le < epr; le++ {
+				ck.VelW1[rank*epr+le] = t.velW1[rank][le].Clone()
+				ck.VelW2[rank*epr+le] = t.velW2[rank][le].Clone()
+			}
+			// Owners hold the authoritative dense velocity shards; scatter
+			// them back to global positions (stage 0: every rank holds the
+			// identical full vector, rank 0's copy wins harmlessly).
+			off := 0
+			for _, rg := range t.owned[rank] {
+				copy(ck.BiasVel[rg.Lo:rg.Hi], t.biasVel[rank][off:off+rg.Len()])
+				off += rg.Len()
+			}
+		}
+	}
 	return ck
 }
 
@@ -69,6 +96,9 @@ func (t *DistTrainer) Restore(ck *Checkpoint) error {
 		return fmt.Errorf("train: checkpoint has %d rank slots, world is %d (elastic growth is unsupported)",
 			len(ck.DataRNG), t.Cfg.World)
 	}
+	if t.velW1 != nil && ck.VelW1 != nil && len(ck.VelW1) != e {
+		return fmt.Errorf("train: checkpoint holds %d expert velocities, trainer wants %d", len(ck.VelW1), e)
+	}
 	epr := e / t.Cfg.World
 	for rank := 0; rank < t.Cfg.World; rank++ {
 		for le := 0; le < epr; le++ {
@@ -77,6 +107,33 @@ func (t *DistTrainer) Restore(ck *Checkpoint) error {
 		}
 		copy(t.bias[rank], ck.Bias)
 		t.dataRNG[rank].SetState(ck.DataRNG[rank])
+	}
+	if t.velW1 != nil {
+		// Reshard the momentum state onto the current world and ZeRO
+		// geometry; a checkpoint without velocity restores to zeros (a
+		// cold optimizer, matching a freshly built trainer).
+		for rank := 0; rank < t.Cfg.World; rank++ {
+			for le := 0; le < epr; le++ {
+				if ck.VelW1 != nil {
+					t.velW1[rank][le].Copy(ck.VelW1[rank*epr+le])
+					t.velW2[rank][le].Copy(ck.VelW2[rank*epr+le])
+				} else {
+					t.velW1[rank][le].Zero()
+					t.velW2[rank][le].Zero()
+				}
+			}
+			bv := t.biasVel[rank]
+			for i := range bv {
+				bv[i] = 0
+			}
+			if ck.BiasVel != nil {
+				off := 0
+				for _, rg := range t.owned[rank] {
+					copy(bv[off:off+rg.Len()], ck.BiasVel[rg.Lo:rg.Hi])
+					off += rg.Len()
+				}
+			}
+		}
 	}
 	t.step = ck.Step
 	t.cluster.Net.SetRNGState(ck.NetRNG)
@@ -113,6 +170,7 @@ func (t *DistTrainer) Shrink(newWorld int) error {
 		t.bias[rank] = make([]float32, cfg.MoE.HModel)
 		t.dataRNG[rank] = tensor.NewRNG(dataSeed(cfg.Seed, rank))
 	}
+	t.initShardState()
 	return nil
 }
 

@@ -10,12 +10,16 @@ package train
 // motivation at training time).
 //
 // Expert weights live on their owning rank (pure expert parallelism), so
-// the weight gradients need no synchronisation; the scalar loss is
-// all-reduced for reporting, exercising a blocking collective between the
-// overlapped steps exactly as a training loop would. The chunked step's
-// loss trajectory and updated weights are bit-identical to the blocking
-// step's for any chunk count — the determinism guarantee of the chunked
-// pipelines composed across passes and optimizer updates.
+// the weight gradients need no synchronisation. The replicated dense
+// parameter (bias) is synchronised through the ZeRO path: a bucketed
+// asynchronous gradient sync (internal/zero) issued from the backward's
+// OnDWReady hook — all-reduce at stages 0/1, reduce-scatter at stage 2 —
+// followed by a sharded optimizer step and, at stages 1/2, a parameter
+// all-gather. The scalar loss all-reduce is likewise issued non-blocking
+// before the backward so it overlaps instead of serialising the step.
+// Loss trajectory and updated weights are bit-identical across chunk
+// counts, ZeRO stages, and bucket sizes — the determinism guarantee of
+// the chunked pipelines composed across passes and optimizer updates.
 
 import (
 	"fmt"
@@ -27,6 +31,7 @@ import (
 	"xmoe/internal/tensor"
 	"xmoe/internal/topology"
 	"xmoe/internal/trace"
+	"xmoe/internal/zero"
 )
 
 // DistConfig configures the simulated expert-parallel trainer.
@@ -44,6 +49,19 @@ type DistConfig struct {
 	// Transport selects the MoE exchange: "pft" (X-MoE padding-free) or
 	// "padded" (conventional baseline).
 	Transport string
+	// ZeROStage selects dense-parameter state sharding across the world
+	// group: 0 replicates gradients and optimizer state (the classic
+	// data-parallel step), 1 shards the optimizer state, 2 shards
+	// optimizer state and gradients (reduce-scatter sync). Expert weights
+	// are rank-local under pure EP and are never sharded here. Final
+	// weights are bit-identical across stages and bucket sizes.
+	ZeROStage int
+	// BucketBytes caps each gradient-sync bucket's wire size; <= 0 syncs
+	// the whole dense gradient in one bucket.
+	BucketBytes int64
+	// Momentum enables SGD momentum (velocity state), the optimizer state
+	// that ZeRO stages 1/2 shard; 0 selects plain SGD with no state.
+	Momentum float64
 	// Opts configures the pipelines; Numeric and SaveForBackward are
 	// forced on (a numeric training step needs both), OverlapChunks and
 	// DropPolicy are honoured in both passes.
@@ -62,6 +80,15 @@ func (c DistConfig) Check() error {
 	}
 	if c.MoE.NumExperts%c.World != 0 {
 		return fmt.Errorf("train: %d experts not divisible by world %d", c.MoE.NumExperts, c.World)
+	}
+	if c.ZeROStage < 0 || c.ZeROStage > 2 {
+		return fmt.Errorf("train: ZeRO stage %d not in [0,2]", c.ZeROStage)
+	}
+	if c.BucketBytes < 0 {
+		return fmt.Errorf("train: bucket bytes %d must be >= 0", c.BucketBytes)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("train: momentum %g not in [0,1)", c.Momentum)
 	}
 	return c.Opts.Check()
 }
@@ -83,6 +110,17 @@ type DistTrainer struct {
 	// for a resumed run to be bit-identical to an uninterrupted one.
 	dataRNG []*tensor.RNG
 	step    int
+	// zcfg is the gradient-sync/sharding geometry derived from the
+	// config; owned[m] is member m's owned element ranges of the dense
+	// gradient stream (the full [0,H) for every rank at stage 0).
+	zcfg  zero.Config
+	owned [][]zero.Range
+	// Momentum (velocity) state, nil when Cfg.Momentum == 0. Expert
+	// velocity is rank-local like the expert weights; bias velocity is
+	// full-length at stage 0 and only this rank's owned elements at
+	// stages 1/2 (the state ZeRO shards).
+	velW1, velW2 [][]*tensor.Tensor
+	biasVel      [][]float32
 }
 
 // DistStepStats reports one simulated training step.
@@ -134,7 +172,64 @@ func NewDistTrainer(cfg DistConfig) (*DistTrainer, error) {
 		t.bias[rank] = make([]float32, cfg.MoE.HModel)
 		t.dataRNG[rank] = tensor.NewRNG(dataSeed(cfg.Seed, rank))
 	}
+	t.initShardState()
 	return t, nil
+}
+
+// initShardState derives the gradient-sync geometry and (re)allocates
+// the sharded optimizer state for the current world size. Called from
+// NewDistTrainer and Shrink; Restore refills the velocity values.
+func (t *DistTrainer) initShardState() {
+	cfg := t.Cfg
+	h := cfg.MoE.HModel
+	epr := cfg.MoE.NumExperts / cfg.World
+	t.zcfg = zero.Config{Stage: cfg.ZeROStage, BucketBytes: cfg.BucketBytes}
+	t.owned = zero.OwnedPartition(t.zcfg, cfg.World, []int{h}, 4)
+	t.velW1, t.velW2, t.biasVel = nil, nil, nil
+	if cfg.Momentum == 0 {
+		return
+	}
+	t.velW1 = make([][]*tensor.Tensor, cfg.World)
+	t.velW2 = make([][]*tensor.Tensor, cfg.World)
+	t.biasVel = make([][]float32, cfg.World)
+	for rank := 0; rank < cfg.World; rank++ {
+		t.velW1[rank] = make([]*tensor.Tensor, epr)
+		t.velW2[rank] = make([]*tensor.Tensor, epr)
+		for le := 0; le < epr; le++ {
+			t.velW1[rank][le] = tensor.New(h, cfg.MoE.HFFN)
+			t.velW2[rank][le] = tensor.New(cfg.MoE.HFFN, h)
+		}
+		t.biasVel[rank] = make([]float32, zero.OwnedCount(t.owned[rank]))
+	}
+}
+
+// StateBytes reports the persistent per-rank training-state footprint in
+// bytes for one rank — parameters, owned gradient state, and optimizer
+// (velocity) state — measured from the live buffers, the ground truth
+// the memmodel ZeRO predictions are validated against. Gradient state
+// counts the dense gradient elements this rank retains after sync (all H
+// at stages 0/1, its owned shard at stage 2) plus the full rank-local
+// expert gradients.
+func (t *DistTrainer) StateBytes(rank int) (params, grads, opt int64) {
+	h := int64(t.Cfg.MoE.HModel)
+	expertElems := int64(0)
+	for _, w := range t.params[rank].W1 {
+		expertElems += int64(w.Len())
+	}
+	for _, w := range t.params[rank].W2 {
+		expertElems += int64(w.Len())
+	}
+	params = 4 * (expertElems + h)
+	denseGrad := h
+	if t.zcfg.Stage >= 2 {
+		denseGrad = int64(zero.OwnedCount(t.owned[rank]))
+	}
+	grads = 4 * (expertElems + denseGrad)
+	if t.Cfg.Momentum != 0 {
+		opt = 4 * expertElems // expert velocity, rank-local like the weights
+		opt += 4 * int64(len(t.biasVel[rank]))
+	}
+	return params, grads, opt
 }
 
 // dataSeed derives rank slot r's input-stream seed. Streams belong to the
@@ -180,19 +275,19 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 
 		var out *tensor.Tensor
 		var dropped int
-		var bwd func(dOut *tensor.Tensor) moe.BackwardResult
+		var bwd func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult
 		switch cfg.Transport {
 		case "pft":
 			res := moe.PFTForward(r, t.group, cfg.MoE, s, x, routing, params, cfg.Opts)
 			out, dropped = res.Output, res.Dropped
-			bwd = func(dOut *tensor.Tensor) moe.BackwardResult {
-				return moe.PFTBackward(r, t.group, cfg.MoE, res.State, dOut, params, cfg.Opts)
+			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
+				return moe.PFTBackward(r, t.group, cfg.MoE, res.State, dOut, params, opts)
 			}
 		case "padded":
 			res := moe.PaddedForward(r, t.group, cfg.MoE, s, x, routing, params, cfg.Opts)
 			out, dropped = res.Output, res.Dropped
-			bwd = func(dOut *tensor.Tensor) moe.BackwardResult {
-				return moe.PaddedBackward(r, t.group, cfg.MoE, res.PaddedState, dOut, params, cfg.Opts)
+			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
+				return moe.PaddedBackward(r, t.group, cfg.MoE, res.PaddedState, dOut, params, opts)
 			}
 		}
 
@@ -207,38 +302,99 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 		}
 		localLoss /= float64(s * h)
 
-		grads := bwd(dOut)
-
-		// Dense all-reduce: the scalar loss (reporting) rides with the
-		// replicated bias gradient, bucketed into one collective as a
-		// training loop would. Expert weights are rank-local under pure
-		// EP, so the expert gradients need no synchronisation.
-		dense := make([]float32, 1+h)
-		dense[0] = float32(localLoss)
+		// The bias gradient is known before the backward runs (it is
+		// dOut's column sum), so the dense sync can ride the backward:
+		// the scalar loss all-reduce is issued non-blocking here, and the
+		// bucketed gradient sync is issued from the backward's OnDWReady
+		// hook — both overlap the backward compute instead of serialising
+		// after it. Expert weights are rank-local under pure EP, so the
+		// expert gradients need no synchronisation.
+		gradBias := make([]float32, h)
 		for i, g := range dOut.Data {
-			dense[1+i%h] += g
+			gradBias[i%h] += g
 		}
-		sum := r.AllReduce(t.group, "dense_allreduce", dense, int64(4*(1+h)))
+		lossH := r.AllReduceAsync(t.group, "loss_allreduce", []float32{float32(localLoss)}, 4)
+		syncer := zero.NewSyncer(r, t.group, "grad_sync", t.zcfg)
+		bopts := cfg.Opts
+		bopts.OnDWReady = func() {
+			syncer.Add(gradBias, int64(4*h))
+			syncer.Flush()
+		}
 
-		// Local SGD on the expert weights, replicated SGD on the bias
-		// (every rank applies the identical all-reduced gradient, keeping
-		// the dense parameter bit-identical across ranks).
+		grads := bwd(dOut, bopts)
+
+		shards := syncer.Wait()
+		lossSum := lossH.Wait()[0].Data
+
+		// Local SGD on the expert weights (with optional rank-local
+		// momentum), sharded SGD on the bias: each rank steps the dense
+		// elements it owns — everything at stage 0, its ZeRO shard at
+		// stages 1/2 — applying the identical reduced gradient, so the
+		// dense parameter stays bit-identical across ranks and stages.
 		lr := float32(cfg.LR)
+		mom := float32(cfg.Momentum)
 		for le := range params.W1 {
-			for j, g := range grads.DW1[le].Data {
-				params.W1[le].Data[j] -= lr * g
-			}
-			for j, g := range grads.DW2[le].Data {
-				params.W2[le].Data[j] -= lr * g
+			if t.velW1 != nil {
+				vel1, vel2 := t.velW1[idx][le], t.velW2[idx][le]
+				for j, g := range grads.DW1[le].Data {
+					v := mom*vel1.Data[j] + g
+					vel1.Data[j] = v
+					params.W1[le].Data[j] -= lr * v
+				}
+				for j, g := range grads.DW2[le].Data {
+					v := mom*vel2.Data[j] + g
+					vel2.Data[j] = v
+					params.W2[le].Data[j] -= lr * v
+				}
+			} else {
+				for j, g := range grads.DW1[le].Data {
+					params.W1[le].Data[j] -= lr * g
+				}
+				for j, g := range grads.DW2[le].Data {
+					params.W2[le].Data[j] -= lr * g
+				}
 			}
 		}
 		invW := float32(1 / float64(cfg.World))
-		for j := range bias {
-			bias[j] -= lr * sum[1+j] * invW
+		var bvel []float32
+		if t.biasVel != nil {
+			bvel = t.biasVel[idx]
+		}
+		velOff := 0
+		for _, sh := range shards {
+			for i, gj := range sh.Data {
+				j := sh.Lo + i
+				if bvel != nil {
+					v := mom*bvel[velOff] + gj*invW
+					bvel[velOff] = v
+					bias[j] -= lr * v
+				} else {
+					bias[j] -= lr * gj * invW
+				}
+				velOff++
+			}
+		}
+		if t.zcfg.Stage >= 1 {
+			// Owners publish their updated shards; every rank reassembles
+			// the full bias from the gathered parts. The send buffer
+			// crosses a collective and must be freshly allocated.
+			ownedVals := make([]float32, 0, zero.OwnedCount(t.owned[idx]))
+			for _, rg := range t.owned[idx] {
+				ownedVals = append(ownedVals, bias[rg.Lo:rg.Hi]...)
+			}
+			parts := r.AllGather(t.group, "param_allgather",
+				simrt.Part{Data: ownedVals, Bytes: int64(4 * len(ownedVals))})
+			for m, p := range parts {
+				off := 0
+				for _, rg := range t.owned[m] {
+					copy(bias[rg.Lo:rg.Hi], p.Data[off:off+rg.Len()])
+					off += rg.Len()
+				}
+			}
 		}
 
 		mu.Lock()
-		stats.Loss = float64(sum[0]) / float64(cfg.World)
+		stats.Loss = float64(lossSum[0]) / float64(cfg.World)
 		stats.Dropped += dropped
 		recs[idx] = r.Trace
 		mu.Unlock()
