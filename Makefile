@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent verify-zero bench bench-figs bench-json bench-save ci
+.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent verify-zero verify-rbd bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -63,6 +63,15 @@ verify-zero:
 	$(GO) test -race -run 'ZeRO|StateBytes|ShardRange|ReduceAsync|AllReduceAsync|ReduceScatterAsync|AllGatherAsync|OnDWReady|Bucketed' \
 		./internal/simrt ./internal/moe ./internal/train ./internal/memmodel ./internal/netsim
 
+# RBD verification gate: the hierarchical dispatch/combine stack under the
+# race detector (rbd), the backward determinism matrix and gradient-parity
+# pins (chunked==blocking and pooled==fresh bitwise, RBD==PFT/padded at
+# float tolerance), and the RBD rows of the distributed trainer —
+# checkpoint/shrink cycles, ZeRO stages, typed option rejections.
+verify-rbd:
+	$(GO) test -race ./internal/rbd
+	$(GO) test -race -run 'RBD|Redundancy' ./internal/train ./internal/bench ./internal/baselines
+
 # Chaos pass: the seeded fault-injection suite under the race detector —
 # rank crashes mid-collective, stragglers, flaky retries, degraded links,
 # checkpoint rollback and elastic recovery. Every schedule is
@@ -93,7 +102,7 @@ bench-save:
 # Quick CI: vet + build + race tests on the fast packages + the chaos
 # suite + unit tests of the remaining packages + a quick microbenchmark
 # smoke run.
-ci: vet build race-fast chaos-fast
+ci: vet build race-fast chaos-fast verify-rbd
 	$(GO) test ./internal/... .
 	$(GO) test -run=NONE -bench='BenchmarkPFTLayerForwardBackward|BenchmarkMoEFFNForwardBackward' \
 		-benchmem -benchtime=10x ./internal/moe ./internal/train

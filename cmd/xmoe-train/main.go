@@ -197,7 +197,7 @@ func main() {
 	capacity := flag.Float64("capacity", 1.1, "expert capacity factor")
 	window := flag.Int("smooth", 25, "moving-average window for the printed curve")
 	dist := flag.Bool("dist", false, "run the simulated distributed EP trainer (blocking vs overlapped)")
-	transport := flag.String("transport", "pft", "distributed transport: pft or padded")
+	transport := flag.String("transport", "pft", "distributed transport: pft, padded, or rbd")
 	world := flag.Int("ep", 8, "distributed mode: expert-parallel group size")
 	tokens := flag.Int("tokens", 128, "distributed mode: tokens per rank per step")
 	overlap := flag.Int("overlap", 4, "distributed mode: comm/compute overlap chunk count")

@@ -198,3 +198,33 @@ func TestIsCommStage(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateStepRBDNativeBackward pins the native RBD backward in the
+// step estimator: the X-MoE (RBD) step simulates cleanly through the
+// reversed hierarchical stages, and the retired mirrored-flat estimate —
+// still reachable behind RunSpec.LegacyBackward for delta reporting —
+// prices the step differently, so sweeps can report the correction.
+func TestSimulateStepRBDNativeBackward(t *testing.T) {
+	m := topology.Frontier()
+	cfg := For(XMoE, m)
+	spec := RunSpec{
+		Shape: model.Small(), Machine: m, World: 16,
+		Plan:       parallel.Plan{World: 16, TP: 1, EP: 16, Placement: cfg.Placement, SSMB: cfg.SSMB, ZeROStage: 1},
+		MicroBatch: 1, GlobalBatch: 16, Seed: 7, SkipMemCheck: true,
+	}
+	native := SimulateStep(cfg, spec)
+	if native.Err != nil || native.IterSeconds <= 0 {
+		t.Fatalf("native RBD step failed: %+v", native)
+	}
+	spec.LegacyBackward = true
+	legacy := SimulateStep(cfg, spec)
+	if legacy.Err != nil || legacy.IterSeconds <= 0 {
+		t.Fatalf("legacy RBD step failed: %+v", legacy)
+	}
+	if native.IterSeconds == legacy.IterSeconds {
+		t.Fatal("native hierarchical backward priced identically to the legacy mirrored-flat estimate")
+	}
+	t.Logf("RBD step: native %.3f ms vs legacy mirrored-flat %.3f ms (%+.1f%%)",
+		native.IterSeconds*1e3, legacy.IterSeconds*1e3,
+		100*(native.IterSeconds-legacy.IterSeconds)/legacy.IterSeconds)
+}

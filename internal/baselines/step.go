@@ -358,14 +358,14 @@ func runFullLayer(sys Config, spec RunSpec, withSync bool) layerRun {
 		}
 		var pftState *moe.PFTFwdState
 		var padState *moe.PaddedFwdState
-		var rbdPFT *moe.PFT
+		var rbdState *rbd.FwdState
 		runInner := func(n int) {
 			rt := routing(n, 7)
 			switch {
 			case sys.RBD:
 				lr := rbd.Forward(r, dispatchers[ep], cfg, n, nil, rt, nil,
 					tensor.NewRNG(spec.Seed^uint64(r.ID)), opts)
-				rbdPFT = lr.PFT
+				rbdState = lr.State
 			case sys.Pipeline == memmodel.PipelinePFT:
 				lr := moe.PFTForward(r, ep, cfg, n, nil, rt, nil, opts)
 				pftState = lr.State
@@ -428,11 +428,10 @@ func runFullLayer(sys Config, spec RunSpec, withSync bool) layerRun {
 		moeBwd := func(n int, bopts moe.PipelineOpts) {
 			switch {
 			case sys.RBD:
-				// RBD saves no flat-exchange state; rebuild the PFT
-				// geometry with a charged metadata exchange and price the
-				// backward with the mirrored flat transport.
-				st := pftGeometry(r, ep, cfg, n, rbdPFT)
-				moe.PFTBackward(r, ep, cfg, st, nil, nil, bopts)
+				// The forward saved its hierarchical exchange state, so the
+				// backward reverses the real C2/C1 and S2/S1 stages — no
+				// geometry rebuild, no mirrored-flat pricing.
+				rbd.Backward(r, dispatchers[ep], cfg, rbdState, nil, nil, bopts)
 			case sys.Pipeline == memmodel.PipelinePFT:
 				moe.PFTBackward(r, ep, cfg, pftState, nil, nil, bopts)
 			default:
@@ -489,40 +488,6 @@ func runFullLayer(sys Config, spec RunSpec, withSync bool) layerRun {
 		}
 	}
 	return out
-}
-
-// pftGeometry reconstructs the PFT backward's exchange segmentation from
-// the routing (for transports that save no flat-exchange state): one
-// charged metadata all-to-all carrying per-local-expert row counts, the
-// backward analogue of the forward tokens_per_expert exchange.
-func pftGeometry(r *simrt.Rank, g *simrt.Group, cfg moe.Config, n int, pft *moe.PFT) *moe.PFTFwdState {
-	p := g.Size()
-	epr := cfg.NumExperts / p
-	send := make([]simrt.Part, p)
-	for dst := 0; dst < p; dst++ {
-		counts := make([]int, epr)
-		for le := 0; le < epr; le++ {
-			counts[le] = pft.TokensPerExpert[dst*epr+le]
-		}
-		send[dst] = simrt.Part{Meta: counts, Bytes: int64(8 * epr)}
-	}
-	recv := r.AlltoAllV(g, "bwd_geom_a2a", send)
-	recvCounts := make([][]int, p)
-	for src := range recv {
-		recvCounts[src] = recv[src].Meta.([]int)
-	}
-	rowsPerLE := make([]int, epr)
-	blockOff := make([][]int, epr)
-	off := 0
-	for le := 0; le < epr; le++ {
-		blockOff[le] = make([]int, p)
-		for src := 0; src < p; src++ {
-			blockOff[le][src] = off
-			off += recvCounts[src][le]
-			rowsPerLE[le] += recvCounts[src][le]
-		}
-	}
-	return &moe.PFTFwdState{S: n, PFT: pft, RecvCounts: recvCounts, BlockOff: blockOff, RowsPerLE: rowsPerLE}
 }
 
 // finishThroughput fills the FLOPs-derived fields from IterSeconds.

@@ -287,7 +287,10 @@ type AblationOverlapBackwardResult struct {
 // could do) or overlapped at the same C. Piper and the Megatron Core MoE
 // overlap report both find the backward half of the step is where most of
 // the hideable all-to-all time lives — the fwd+bwd column must therefore
-// beat both the blocking baseline (C=1) and the fwd-only column.
+// beat both the blocking baseline (C=1) and the fwd-only column. The
+// "rbd" rows run the native hierarchical backward (reversed C2/C1 and
+// S2/S1 exchanges), so its backward bytes follow the same per-link-class
+// accounting as its forward instead of a mirrored flat estimate.
 func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwardResult {
 	m := topology.Frontier()
 	shape := model.Large()
@@ -305,7 +308,7 @@ func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwar
 	chunkCounts := opts.chunkCounts()
 
 	var out []AblationOverlapBackwardResult
-	for _, pipe := range []string{"pft", "padded"} {
+	for _, pipe := range []string{"pft", "padded", "rbd"} {
 		res := AblationOverlapBackwardResult{Pipeline: pipe, EP: ep, Chunks: chunkCounts}
 		for _, chunks := range chunkCounts {
 			res.FwdOnlyMs = append(res.FwdOnlyMs, StepClock(m, cfg, ep, s, pipe, chunks, 1, opts.Seed, opts.Engine)*1e3)
@@ -341,8 +344,8 @@ func AblationOverlapBackward(w io.Writer, opts Options) []AblationOverlapBackwar
 }
 
 // StepClock measures one timing-only (symbolic) MoE fwd+bwd step of the
-// given transport ("pft" or "padded") on a fresh world-rank cluster,
-// with independent forward/backward overlap chunk counts, and returns
+// given transport ("pft", "padded", or "rbd") on a fresh world-rank
+// cluster, with independent forward/backward overlap chunk counts, and returns
 // the simulated wall-clock of the slowest rank. It is the shared harness
 // behind AblationOverlapBackward and xmoe-train's "timing at scale"
 // report, so the two always measure the same regime. engine names the
@@ -354,6 +357,10 @@ func StepClock(m *topology.Machine, cfg moe.Config, world, s int, transport stri
 	c.Net.DisableCongestion = true
 	Options{Engine: engine}.applyEngine(c)
 	g := c.WorldGroup()
+	var d *rbd.Dispatcher
+	if transport == "rbd" {
+		d = rbd.NewDispatcher(c, g, cfg)
+	}
 	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
 		rng := tensor.NewRNG(seed + uint64(r.ID))
 		rt := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0)
@@ -368,6 +375,9 @@ func StepClock(m *topology.Machine, cfg moe.Config, world, s int, transport stri
 			fwdOpts.DropPolicy = moe.DropNegativeThenPosition
 			res := moe.PaddedForward(r, g, cfg, s, nil, rt, nil, fwdOpts)
 			moe.PaddedBackward(r, g, cfg, res.PaddedState, nil, nil, bwdOpts)
+		case "rbd":
+			res := rbd.Forward(r, d, cfg, s, nil, rt, nil, tensor.NewRNG(seed^uint64(r.ID)), fwdOpts)
+			rbd.Backward(r, d, cfg, res.State, nil, nil, bwdOpts)
 		default:
 			panic(fmt.Sprintf("bench: unknown transport %q", transport))
 		}

@@ -304,15 +304,23 @@ func TestAblationOverlapChunkedStrictlyFaster(t *testing.T) {
 }
 
 // TestAblationOverlapBackwardStrictlyFaster is the acceptance gate of the
-// backward-pass overlap (PR-5 tentpole): on the Fig. 11 configuration the
-// full fwd+bwd step with both passes chunked must be strictly faster than
-// the fully blocking step for every C >= 2, in both transports, and must
-// also beat the fwd-only-overlap step (the pre-backward-overlap state) —
-// the backward is where the remaining hideable all-to-all time lives.
+// backward-pass overlap (PR-5 tentpole, extended to the native RBD
+// backward): on the Fig. 11 configuration the full fwd+bwd step with both
+// passes chunked must be strictly faster than the fully blocking step for
+// every C >= 2, in all three transports, and must also beat the
+// fwd-only-overlap step (the pre-backward-overlap state) — the backward
+// is where the remaining hideable all-to-all time lives.
 func TestAblationOverlapBackwardStrictlyFaster(t *testing.T) {
 	results := AblationOverlapBackward(io.Discard, quickOpts())
-	if len(results) != 2 {
-		t.Fatalf("expected pft and padded results, got %d", len(results))
+	if len(results) != 3 {
+		t.Fatalf("expected pft, padded, and rbd results, got %d", len(results))
+	}
+	seen := map[string]bool{}
+	for _, res := range results {
+		seen[res.Pipeline] = true
+	}
+	if !seen["rbd"] {
+		t.Fatal("abl-overlap-bwd is missing the rbd row")
 	}
 	for _, res := range results {
 		for i, chunks := range res.Chunks {

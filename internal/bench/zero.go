@@ -43,12 +43,17 @@ func AblationZeRO(w io.Writer, opts Options) []ZeROPoint {
 		stages = []int{0, 2}
 		bucketsMB = []int64{0, 16}
 	}
+	// The X-MoE system runs the hierarchical RBD transport fwd+bwd (it was
+	// mislabeled "pft" while the backward was priced as mirrored-flat);
+	// the genuine flat PFT row is X-MoE with RBD switched off.
 	transports := []struct {
 		name string
 		sys  baselines.System
+		rbd  bool
 	}{
-		{"pft", baselines.XMoE},
-		{"padded", baselines.DeepSpeedMoE},
+		{"rbd", baselines.XMoE, true},
+		{"pft", baselines.XMoE, false},
+		{"padded", baselines.DeepSpeedMoE, false},
 	}
 
 	var out []ZeROPoint
@@ -56,6 +61,7 @@ func AblationZeRO(w io.Writer, opts Options) []ZeROPoint {
 	t := newTable("transport", "EP", "world", "zero", "bucket", "blocking ms", "overlap ms", "speedup", "states GiB")
 	for _, tr := range transports {
 		cfg := baselines.For(tr.sys, m)
+		cfg.RBD = tr.rbd
 		for _, ep := range eps {
 			world := 2 * ep
 			plan := parallel.Plan{World: world, TP: 1, EP: ep,

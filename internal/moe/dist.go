@@ -89,26 +89,41 @@ type PipelineOpts struct {
 // and message latencies dwarf any conceivable transfer left to hide.
 const maxOverlapChunks = 4096
 
-// Check validates the option combination, returning a descriptive error
+// OptionError is the typed rejection every option validator returns: Opt
+// names the offending PipelineOpts/DistConfig field, Detail explains the
+// rejected combination. Callers unwrap it with errors.As to distinguish
+// misconfiguration from other failures instead of string-matching (the
+// old silent fallback to the flat transport is gone).
+type OptionError struct {
+	// Opt is the offending option's field name (e.g. "OverlapChunks",
+	// "CombineBytes", "Transport").
+	Opt string
+	// Detail is the human-readable rejection.
+	Detail string
+}
+
+func (e *OptionError) Error() string { return e.Detail }
+
+// Check validates the option combination, returning a typed *OptionError
 // for unsupported or nonsensical settings. The pipelines call it on entry
 // (panicking with the error, as misconfiguration inside an SPMD body
 // cannot be returned); CLIs call it directly on flag-derived options so
 // the user sees the message instead of a rank panic.
 func (o PipelineOpts) Check() error {
 	if o.OverlapChunks < 0 {
-		return fmt.Errorf("moe: OverlapChunks must be >= 0, got %d", o.OverlapChunks)
+		return &OptionError{Opt: "OverlapChunks", Detail: fmt.Sprintf("moe: OverlapChunks must be >= 0, got %d", o.OverlapChunks)}
 	}
 	if o.OverlapChunks > maxOverlapChunks {
-		return fmt.Errorf("moe: OverlapChunks %d exceeds the supported maximum %d", o.OverlapChunks, maxOverlapChunks)
+		return &OptionError{Opt: "OverlapChunks", Detail: fmt.Sprintf("moe: OverlapChunks %d exceeds the supported maximum %d", o.OverlapChunks, maxOverlapChunks)}
 	}
 	if o.CombineBytes < 0 {
-		return fmt.Errorf("moe: CombineBytes must be >= 0, got %d", o.CombineBytes)
+		return &OptionError{Opt: "CombineBytes", Detail: fmt.Sprintf("moe: CombineBytes must be >= 0, got %d", o.CombineBytes)}
 	}
 	if o.Kernels < KernelsTriton || o.Kernels > KernelsVendor {
-		return fmt.Errorf("moe: unknown kernel profile %d", o.Kernels)
+		return &OptionError{Opt: "Kernels", Detail: fmt.Sprintf("moe: unknown kernel profile %d", o.Kernels)}
 	}
 	if o.DropPolicy < DropByCapacityWeight || o.DropPolicy > DropNegativeThenPosition {
-		return fmt.Errorf("moe: unknown drop policy %d", o.DropPolicy)
+		return &OptionError{Opt: "DropPolicy", Detail: fmt.Sprintf("moe: unknown drop policy %d", o.DropPolicy)}
 	}
 	return nil
 }

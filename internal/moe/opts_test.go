@@ -1,6 +1,7 @@
 package moe
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -12,15 +13,16 @@ func TestPipelineOptsCheckRejects(t *testing.T) {
 	cases := []struct {
 		name string
 		opts PipelineOpts
+		opt  string
 		want string
 	}{
-		{"negative chunks", PipelineOpts{OverlapChunks: -1}, "OverlapChunks must be >= 0"},
-		{"huge chunks", PipelineOpts{OverlapChunks: 4097}, "exceeds the supported maximum"},
-		{"negative combine bytes", PipelineOpts{CombineBytes: -8}, "CombineBytes must be >= 0"},
-		{"kernel profile too low", PipelineOpts{Kernels: KernelsTriton - 1}, "unknown kernel profile"},
-		{"kernel profile too high", PipelineOpts{Kernels: KernelsVendor + 1}, "unknown kernel profile"},
-		{"drop policy too low", PipelineOpts{DropPolicy: DropByCapacityWeight - 1}, "unknown drop policy"},
-		{"drop policy too high", PipelineOpts{DropPolicy: DropNegativeThenPosition + 1}, "unknown drop policy"},
+		{"negative chunks", PipelineOpts{OverlapChunks: -1}, "OverlapChunks", "OverlapChunks must be >= 0"},
+		{"huge chunks", PipelineOpts{OverlapChunks: 4097}, "OverlapChunks", "exceeds the supported maximum"},
+		{"negative combine bytes", PipelineOpts{CombineBytes: -8}, "CombineBytes", "CombineBytes must be >= 0"},
+		{"kernel profile too low", PipelineOpts{Kernels: KernelsTriton - 1}, "Kernels", "unknown kernel profile"},
+		{"kernel profile too high", PipelineOpts{Kernels: KernelsVendor + 1}, "Kernels", "unknown kernel profile"},
+		{"drop policy too low", PipelineOpts{DropPolicy: DropByCapacityWeight - 1}, "DropPolicy", "unknown drop policy"},
+		{"drop policy too high", PipelineOpts{DropPolicy: DropNegativeThenPosition + 1}, "DropPolicy", "unknown drop policy"},
 	}
 	for _, c := range cases {
 		err := c.opts.Check()
@@ -30,6 +32,12 @@ func TestPipelineOptsCheckRejects(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Errorf("%s: error %T is not a typed *OptionError", c.name, err)
+		} else if oe.Opt != c.opt {
+			t.Errorf("%s: OptionError.Opt = %q, want %q", c.name, oe.Opt, c.opt)
 		}
 	}
 	// The boundary values themselves are valid.

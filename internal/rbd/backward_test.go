@@ -1,0 +1,402 @@
+package rbd
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmoe/internal/moe"
+	"xmoe/internal/simrt"
+	"xmoe/internal/tensor"
+)
+
+// runFwdBwd executes a numeric RBD forward+backward on every rank and
+// returns the per-rank gradients (and forward outputs). fwdChunks and
+// bwdChunks select the overlapped paths independently; disablePools runs
+// allocate-fresh for the pooled==fresh determinism pin.
+func runFwdBwd(t *testing.T, world, s int, cfg moe.Config, fwdChunks, bwdChunks int, disablePools bool) ([]moe.BackwardResult, []*tensor.Tensor) {
+	t.Helper()
+	c := newCluster(world)
+	c.DisablePools = disablePools
+	g := c.WorldGroup()
+	d := NewDispatcher(c, g, cfg)
+	grads := make([]moe.BackwardResult, world)
+	outs := make([]*tensor.Tensor, world)
+	var mu sync.Mutex
+	err := c.Run(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(6100 + uint64(r.ID))
+		x := tensor.Randn(rng, 1, s, cfg.HModel)
+		routing := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+		epr := cfg.NumExperts / world
+		me := g.IndexOf(r.ID)
+		params := &moe.ExpertParams{W1: make([]*tensor.Tensor, epr), W2: make([]*tensor.Tensor, epr)}
+		for le := 0; le < epr; le++ {
+			params.W1[le], params.W2[le] = expertWeights(me*epr+le, cfg.HModel, cfg.HFFN)
+		}
+		fwdOpts := moe.PipelineOpts{Numeric: true, DropPolicy: moe.DropNegativeThenPosition,
+			SaveForBackward: true, OverlapChunks: fwdChunks}
+		res := Forward(r, d, cfg, s, x, routing, params, tensor.NewRNG(42+uint64(r.ID)), fwdOpts)
+		if res.State == nil {
+			t.Error("SaveForBackward forward returned no state")
+			return nil
+		}
+		dOut := tensor.New(s, cfg.HModel)
+		for i := range dOut.Data {
+			dOut.Data[i] = float32(i%5)*0.2 - 0.4
+		}
+		bwd := Backward(r, d, cfg, res.State, dOut, params,
+			moe.PipelineOpts{Numeric: true, OverlapChunks: bwdChunks})
+		mu.Lock()
+		grads[r.ID] = bwd
+		outs[r.ID] = res.Output
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grads, outs
+}
+
+var bwdCfg = moe.Config{NumExperts: 32, TopK: 5, HModel: 10, HFFN: 6,
+	CapacityFactor: 1.25, BytesPerElem: 2}
+
+// bitEqualGrads fails unless the two backward results are bit-identical:
+// dX, every expert's dW1/dW2, and the combine-weight gradients.
+func bitEqualGrads(t *testing.T, label string, rank int, a, b moe.BackwardResult) {
+	t.Helper()
+	bitEq := func(name string, x, y *tensor.Tensor) {
+		t.Helper()
+		if x.Len() != y.Len() {
+			t.Fatalf("%s rank %d: %s sizes differ", label, rank, name)
+		}
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				t.Fatalf("%s rank %d: %s bit mismatch at %d: %v vs %v",
+					label, rank, name, i, x.Data[i], y.Data[i])
+			}
+		}
+	}
+	bitEq("dX", a.DX, b.DX)
+	for e := range a.DW1 {
+		bitEq("dW1", a.DW1[e], b.DW1[e])
+		bitEq("dW2", a.DW2[e], b.DW2[e])
+	}
+	if len(a.DCombineWeights) != len(b.DCombineWeights) {
+		t.Fatalf("%s rank %d: dWeights lengths differ", label, rank)
+	}
+	for i := range a.DCombineWeights {
+		if a.DCombineWeights[i] != b.DCombineWeights[i] {
+			t.Fatalf("%s rank %d: dWeights bit mismatch at %d", label, rank, i)
+		}
+	}
+}
+
+// TestRBDBackwardMatchesPFTAndPadded validates the native RBD backward
+// against the numerically-verified PFT backward (and the padded backward
+// already pinned to it): same inputs, routing, weights, and upstream
+// gradient — dX, per-expert dW1/dW2, and the combine-weight gradients
+// must agree within float tolerance. (Bitwise identity across transports
+// is impossible: RBD folds each pilot group's partial sums before the
+// token-level accumulation, a different fp addition order than the flat
+// transports. Within RBD, chunked==blocking and pooled==fresh ARE bitwise
+// — see the matrix tests below.)
+func TestRBDBackwardMatchesPFTAndPadded(t *testing.T) {
+	const world, s = 16, 24
+	cfg := bwdCfg
+
+	runFlat := func(padded bool) []moe.BackwardResult {
+		c := newCluster(world)
+		g := c.WorldGroup()
+		grads := make([]moe.BackwardResult, world)
+		var mu sync.Mutex
+		err := c.Run(func(r *simrt.Rank) error {
+			rng := tensor.NewRNG(6100 + uint64(r.ID))
+			x := tensor.Randn(rng, 1, s, cfg.HModel)
+			routing := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0.6)
+			epr := cfg.NumExperts / world
+			me := g.IndexOf(r.ID)
+			params := &moe.ExpertParams{W1: make([]*tensor.Tensor, epr), W2: make([]*tensor.Tensor, epr)}
+			for le := 0; le < epr; le++ {
+				params.W1[le], params.W2[le] = expertWeights(me*epr+le, cfg.HModel, cfg.HFFN)
+			}
+			opts := moe.PipelineOpts{Numeric: true, DropPolicy: moe.DropNegativeThenPosition, SaveForBackward: true}
+			dOut := tensor.New(s, cfg.HModel)
+			for i := range dOut.Data {
+				dOut.Data[i] = float32(i%5)*0.2 - 0.4
+			}
+			var bwd moe.BackwardResult
+			if padded {
+				res := moe.PaddedForward(r, g, cfg, s, x, routing, params, opts)
+				bwd = moe.PaddedBackward(r, g, cfg, res.PaddedState, dOut, params, opts)
+			} else {
+				res := moe.PFTForward(r, g, cfg, s, x, routing, params, opts)
+				bwd = moe.PFTBackward(r, g, cfg, res.State, dOut, params, opts)
+			}
+			mu.Lock()
+			grads[r.ID] = bwd
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return grads
+	}
+
+	rbdGrads, _ := runFwdBwd(t, world, s, cfg, 1, 1, false)
+	for name, flat := range map[string][]moe.BackwardResult{"pft": runFlat(false), "padded": runFlat(true)} {
+		for rank := range flat {
+			a, b := rbdGrads[rank], flat[rank]
+			if !a.DX.Equal(b.DX, 1e-3) {
+				t.Fatalf("%s rank %d: RBD dX differs", name, rank)
+			}
+			for e := range a.DW1 {
+				if !a.DW1[e].Equal(b.DW1[e], 1e-3) || !a.DW2[e].Equal(b.DW2[e], 1e-3) {
+					t.Fatalf("%s rank %d expert %d: RBD weight gradients differ", name, rank, e)
+				}
+			}
+			if name == "padded" {
+				// The padded backward indexes DCombineWeights by slot
+				// (e*C + c), not by PFT entry — the repo's padded-vs-PFT
+				// parity test skips them for the same reason.
+				continue
+			}
+			if len(a.DCombineWeights) != len(b.DCombineWeights) {
+				t.Fatalf("%s rank %d: dWeights length %d vs %d", name, rank,
+					len(a.DCombineWeights), len(b.DCombineWeights))
+			}
+			nonZero := 0
+			for i := range a.DCombineWeights {
+				if d := a.DCombineWeights[i] - b.DCombineWeights[i]; d > 1e-3 || d < -1e-3 {
+					t.Fatalf("%s rank %d: dWeights[%d] %v vs %v", name, rank, i,
+						a.DCombineWeights[i], b.DCombineWeights[i])
+				}
+				if a.DCombineWeights[i] != 0 {
+					nonZero++
+				}
+			}
+			if nonZero == 0 {
+				t.Fatalf("%s rank %d: all RBD combine-weight gradients are zero", name, rank)
+			}
+		}
+	}
+}
+
+// TestRBDBackwardDeterminismMatrix is the chunk-count half of the
+// determinism matrix: for C in {1,2,4,8}, chunked forward+backward
+// gradients must be bit-identical to the fully blocking pass (the chunked
+// paths re-time the exchanges but never reorder a single accumulation).
+func TestRBDBackwardDeterminismMatrix(t *testing.T) {
+	const world, s = 16, 24
+	blocking, _ := runFwdBwd(t, world, s, bwdCfg, 1, 1, false)
+	for _, chunks := range []int{2, 4, 8} {
+		chunked, _ := runFwdBwd(t, world, s, bwdCfg, chunks, chunks, false)
+		for rank := range blocking {
+			bitEqualGrads(t, "chunked", rank, blocking[rank], chunked[rank])
+		}
+	}
+	// Mixed chunk counts: a chunked forward feeding a blocking backward
+	// (and vice versa) — the saved full-layout state is chunk-agnostic.
+	mixed, _ := runFwdBwd(t, world, s, bwdCfg, 4, 1, false)
+	for rank := range blocking {
+		bitEqualGrads(t, "fwd4/bwd1", rank, blocking[rank], mixed[rank])
+	}
+	mixed2, _ := runFwdBwd(t, world, s, bwdCfg, 1, 4, false)
+	for rank := range blocking {
+		bitEqualGrads(t, "fwd1/bwd4", rank, blocking[rank], mixed2[rank])
+	}
+}
+
+// TestRBDBackwardPooledBitIdenticalToFresh is the pooled half of the
+// matrix: arena-pooled execution must match allocate-fresh bit for bit,
+// blocking and chunked.
+func TestRBDBackwardPooledBitIdenticalToFresh(t *testing.T) {
+	const world, s = 16, 24
+	for _, chunks := range []int{1, 4} {
+		pooled, pooledOut := runFwdBwd(t, world, s, bwdCfg, chunks, chunks, false)
+		fresh, freshOut := runFwdBwd(t, world, s, bwdCfg, chunks, chunks, true)
+		for rank := range pooled {
+			bitEqualGrads(t, "pooled", rank, fresh[rank], pooled[rank])
+			for i := range pooledOut[rank].Data {
+				if pooledOut[rank].Data[i] != freshOut[rank].Data[i] {
+					t.Fatalf("C=%d rank %d: pooled forward output differs from fresh", chunks, rank)
+				}
+			}
+		}
+	}
+}
+
+// TestRBDBackwardSymbolicStagesAndHook runs the symbolic (timing-only)
+// backward: every reverse stage must appear in the trace, the backward
+// must leave no leaked handles, and OnDWReady must fire exactly once —
+// blocking and chunked.
+func TestRBDBackwardSymbolicStagesAndHook(t *testing.T) {
+	cfg := moe.Config{NumExperts: 32, TopK: 4, HModel: 64, HFFN: 32,
+		CapacityFactor: 1.25, BytesPerElem: 2}
+	for _, chunks := range []int{1, 4} {
+		c := newCluster(16)
+		g := c.WorldGroup()
+		d := NewDispatcher(c, g, cfg)
+		fired := make([]int, 16)
+		ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+			rng := tensor.NewRNG(uint64(r.ID))
+			routing := moe.SyntheticRouting(rng, 64, cfg.NumExperts, cfg.TopK, 0.5)
+			res := Forward(r, d, cfg, 64, nil, routing, nil, tensor.NewRNG(uint64(r.ID)),
+				moe.PipelineOpts{SaveForBackward: true, OverlapChunks: chunks})
+			id := r.ID
+			Backward(r, d, cfg, res.State, nil, nil,
+				moe.PipelineOpts{OverlapChunks: chunks, OnDWReady: func() { fired[id]++ }})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rk := range ranks {
+			for _, stage := range []string{StageBwdCScatter, StageBwdC1A2A, StageBwdCMerge,
+				StageBwdC2A2A, moe.StageBwdExperts, StageBwdS2A2A, StageBwdS2Red,
+				StageBwdS1A2A, StageBwdS1Scat} {
+				// Async exchanges fully hidden under compute charge zero
+				// uncovered time; their physical span is still recorded as
+				// an overlapped event.
+				if rk.Trace.Total(stage) <= 0 && rk.Trace.OverlappedTotal(stage) <= 0 {
+					t.Fatalf("C=%d rank %d: backward stage %q missing from trace", chunks, rk.ID, stage)
+				}
+			}
+			if fired[rk.ID] != 1 {
+				t.Fatalf("C=%d rank %d: OnDWReady fired %d times, want exactly 1", chunks, rk.ID, fired[rk.ID])
+			}
+		}
+	}
+}
+
+// TestRBDBackwardMirrorsForwardCommunication pins the backward wire
+// volumes to the netsim per-link-class convention: each reverse exchange
+// moves exactly the forward payload bytes (the weight-gradient metadata
+// replaces the forward's s1Meta, which is strictly larger), so per stage
+// pair the backward a2a time must track the forward within tolerance —
+// and in particular the backward must NOT price as the mirrored flat
+// transport (its inter-node time stays well below a flat exchange's).
+func TestRBDBackwardMirrorsForwardCommunication(t *testing.T) {
+	cfg := moe.Config{NumExperts: 256, TopK: 8, HModel: 2048, HFFN: 1024,
+		CapacityFactor: 100, BytesPerElem: 2}
+	const s, world = 512, 32
+	c := newCluster(world)
+	g := c.WorldGroup()
+	d := NewDispatcher(c, g, cfg)
+	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(4242 + uint64(r.ID))
+		routing := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0)
+		res := Forward(r, d, cfg, s, nil, routing, nil, tensor.NewRNG(1+uint64(r.ID)),
+			moe.PipelineOpts{SaveForBackward: true})
+		Backward(r, d, cfg, res.State, nil, nil, moe.PipelineOpts{})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwdS1, bwdS1, fwdS2, bwdS2 float64
+	for _, rk := range ranks {
+		fwdS1 += rk.Trace.Total(StageS1A2A) + rk.Trace.Total(StageC1A2A)
+		bwdS1 += rk.Trace.Total(StageBwdC1A2A) + rk.Trace.Total(StageBwdS1A2A)
+		fwdS2 += rk.Trace.Total(StageS2A2A) + rk.Trace.Total(StageC2A2A)
+		bwdS2 += rk.Trace.Total(StageBwdS2A2A) + rk.Trace.Total(StageBwdC2A2A)
+	}
+	if math.Abs(fwdS1-bwdS1) > 0.15*fwdS1 {
+		t.Fatalf("backward inter-node a2a time %.6f should mirror forward %.6f", bwdS1, fwdS1)
+	}
+	if math.Abs(fwdS2-bwdS2) > 0.15*fwdS2 {
+		t.Fatalf("backward intra-node a2a time %.6f should mirror forward %.6f", bwdS2, fwdS2)
+	}
+}
+
+// TestRBDCheckOptsRejections exercises the typed rejection paths: the RBD
+// backward has no combine-element override, and a numeric backward cannot
+// consume a symbolically captured forward state.
+func TestRBDCheckOptsRejections(t *testing.T) {
+	var oe *moe.OptionError
+	err := CheckOpts(moe.PipelineOpts{CombineBytes: 4})
+	if err == nil || !errors.As(err, &oe) || oe.Opt != "CombineBytes" {
+		t.Fatalf("CombineBytes: want typed *moe.OptionError, got %v", err)
+	}
+	if err := CheckOpts(moe.PipelineOpts{OverlapChunks: -1}); err == nil || !errors.As(err, &oe) || oe.Opt != "OverlapChunks" {
+		t.Fatalf("OverlapChunks: want typed *moe.OptionError, got %v", err)
+	}
+	if err := CheckOpts(moe.PipelineOpts{}); err != nil {
+		t.Fatalf("valid opts rejected: %v", err)
+	}
+
+	// Numeric backward over a symbolic capture must panic with the typed
+	// message, on entry, before any collective is issued.
+	c := newCluster(16)
+	g := c.WorldGroup()
+	cfg := bwdCfg
+	d := NewDispatcher(c, g, cfg)
+	err = c.Run(func(r *simrt.Rank) error {
+		rng := tensor.NewRNG(uint64(r.ID))
+		routing := moe.SyntheticRouting(rng, 16, cfg.NumExperts, cfg.TopK, 0.5)
+		res := Forward(r, d, cfg, 16, nil, routing, nil, tensor.NewRNG(uint64(r.ID)),
+			moe.PipelineOpts{SaveForBackward: true})
+		defer func() {
+			msg, _ := recover().(string)
+			if !strings.Contains(msg, "captured symbolically") {
+				t.Errorf("rank %d: want symbolic-capture panic, got %q", r.ID, msg)
+			}
+		}()
+		Backward(r, d, cfg, res.State, nil, nil, moe.PipelineOpts{Numeric: true})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// binom returns C(n, k) as an exact big.Rat.
+func binom(n, k int) *big.Rat {
+	if k < 0 || k > n {
+		return new(big.Rat)
+	}
+	return new(big.Rat).SetInt(new(big.Int).Binomial(int64(n), int64(k)))
+}
+
+// TestExpectedRedundancyRateExactInvariant pins the closed form against
+// an exact rational-arithmetic evaluation of the hypergeometric
+// expectation, in the style of netsim's integer-exact byte-convention
+// tests: for each node with integer expert count c under the canonical
+// placement x*nodes/E, P(hit) = 1 - C(E-c,k)/C(E,k), summed exactly with
+// big.Rat — including every non-divisible E/nodes case, where the old
+// fractional E/n approximation was off.
+func TestExpectedRedundancyRateExactInvariant(t *testing.T) {
+	for _, tc := range []struct{ e, k, nodes int }{
+		{8, 3, 4}, {10, 3, 4}, {10, 4, 4}, {7, 3, 3}, {13, 5, 4},
+		{64, 8, 8}, {9, 2, 5}, {11, 7, 3}, {256, 8, 32}, {17, 4, 6},
+	} {
+		counts := make([]int, tc.nodes)
+		total := 0
+		for x := 0; x < tc.e; x++ {
+			counts[x*tc.nodes/tc.e]++
+			total++
+		}
+		if total != tc.e {
+			t.Fatalf("placement of %d experts over %d nodes lost experts", tc.e, tc.nodes)
+		}
+		expected := new(big.Rat)
+		denom := binom(tc.e, tc.k)
+		for _, c := range counts {
+			pHit := new(big.Rat).Sub(new(big.Rat).SetInt64(1),
+				new(big.Rat).Quo(binom(tc.e-c, tc.k), denom))
+			expected.Add(expected, pHit)
+		}
+		want := new(big.Rat).Sub(new(big.Rat).SetInt64(1),
+			new(big.Rat).Quo(expected, new(big.Rat).SetInt64(int64(tc.k))))
+		wantF, _ := want.Float64()
+		got := ExpectedRedundancyRate(tc.e, tc.k, tc.nodes)
+		if math.Abs(got-wantF) > 1e-12 {
+			t.Errorf("E=%d k=%d nodes=%d: ExpectedRedundancyRate %.15f, exact %.15f",
+				tc.e, tc.k, tc.nodes, got, wantF)
+		}
+	}
+}

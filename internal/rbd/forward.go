@@ -8,12 +8,22 @@ import (
 	"xmoe/internal/tensor"
 )
 
+// LayerResult is moe.LayerResult plus the saved hierarchical exchange
+// state Backward consumes (nil unless opts.SaveForBackward).
+type LayerResult struct {
+	moe.LayerResult
+	State *FwdState
+}
+
 // Forward runs a complete X-MoE MoE layer with RBD transport: gating and
 // PFT construction as in the padding-free pipeline (moe.PFTForward), but
 // with dispatch and combine routed through the hierarchical
 // redundancy-bypassing stages instead of the flat uneven all-to-all.
+// With opts.SaveForBackward the result carries the FwdState Backward
+// needs — the dispatch geometry always, plus the expert-FFN intermediates
+// in numeric mode.
 func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tensor,
-	routing moe.Routing, params *moe.ExpertParams, pilotRNG *tensor.RNG, opts moe.PipelineOpts) moe.LayerResult {
+	routing moe.Routing, params *moe.ExpertParams, pilotRNG *tensor.RNG, opts moe.PipelineOpts) LayerResult {
 
 	h, f := cfg.HModel, cfg.HFFN
 	elem := int64(cfg.BytesPerElem)
@@ -43,22 +53,27 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 	// with the intra-node S2/C2 exchanges (see overlap.go): pilot-row
 	// GEMMs run while S2 is in flight, the C2 return leaves non-blocking
 	// under the pilot-scaling merge. Output is bit-identical either way.
-	rbdOpts := Opts{Numeric: opts.Numeric, OverlapChunks: opts.OverlapChunks}
+	rbdOpts := Opts{Numeric: opts.Numeric, OverlapChunks: opts.OverlapChunks, Save: opts.SaveForBackward}
 	if rbdOpts.chunks() > 1 {
-		out, bExp := forwardOverlap(r, d, cfg, s, pft, dispIn, params, pilotRNG, rbdOpts)
+		out, bExp, ost := forwardOverlap(r, d, cfg, s, pft, dispIn, params, pilotRNG, rbdOpts)
 		if !opts.RetainActivations {
 			mem.Free("eri", pft.ERIBytes())
 			mem.Free("dispatch_in", int64(b)*int64(h)*elem)
 			mem.Free("A0_interm", int64(bExp)*int64(f)*elem)
 			mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
 		}
-		return moe.LayerResult{
+		res := LayerResult{LayerResult: moe.LayerResult{
 			Output:       out,
 			PFT:          pft,
 			RoutedTokens: b,
 			RecvTokens:   bExp,
 			Dropped:      pft.Dropped,
+		}}
+		if ost.save != nil {
+			ost.save.S = s
+			res.State = ost.save
 		}
+		return res
 	}
 	st, expertIn := d.Dispatch(r, pft, dispIn, pilotRNG, rbdOpts)
 
@@ -78,10 +93,24 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 		pool := r.Pool()
 		interm := pool.Get(bExp, f)
 		kernels.SequentialGEMMInto(interm, expertIn, st.RowsPerLE, params.W1)
-		tensor.GeLU(interm)
+		hidAct := interm
+		if st.save != nil {
+			// Backward needs both the pre-activation (GeLU') and the
+			// activated hidden buffer (dW2 operand): keep interm as the
+			// pre-activation and GeLU a copy, as PFTForward does.
+			hidAct = pool.Get(bExp, f)
+			hidAct.Copy(interm)
+		}
+		tensor.GeLU(hidAct)
 		expertOut = pool.Get(bExp, h)
-		kernels.SequentialGEMMInto(expertOut, interm, st.RowsPerLE, params.W2)
-		pool.PutAll(expertIn, interm)
+		kernels.SequentialGEMMInto(expertOut, hidAct, st.RowsPerLE, params.W2)
+		if st.save != nil {
+			st.save.ExpertIn = expertIn
+			st.save.HidPre = interm
+			st.save.HidAct = hidAct
+		} else {
+			pool.PutAll(expertIn, interm)
+		}
 	}
 
 	// RBD combine (replica gather, merge, pilot return, reconstruction).
@@ -95,11 +124,16 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 		mem.Free("A1_interm", int64(bExp)*int64(f)*elem)
 	}
 
-	return moe.LayerResult{
+	res := LayerResult{LayerResult: moe.LayerResult{
 		Output:       out,
 		PFT:          pft,
 		RoutedTokens: b,
 		RecvTokens:   bExp,
 		Dropped:      pft.Dropped,
+	}}
+	if st.save != nil {
+		st.save.S = s
+		res.State = st.save
 	}
+	return res
 }

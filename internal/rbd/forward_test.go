@@ -37,13 +37,13 @@ func TestForwardMatchesPFTForward(t *testing.T) {
 				params.W1[le], params.W2[le] = expertWeights(me*epr+le, cfg.HModel, cfg.HFFN)
 			}
 			opts := moe.PipelineOpts{Numeric: true, DropPolicy: moe.DropByCapacityWeight}
-			var res moe.LayerResult
+			var out *tensor.Tensor
 			if useRBD {
-				res = Forward(r, d, cfg, s, x, routing, params, tensor.NewRNG(42+uint64(r.ID)), opts)
+				out = Forward(r, d, cfg, s, x, routing, params, tensor.NewRNG(42+uint64(r.ID)), opts).Output
 			} else {
-				res = moe.PFTForward(r, g, cfg, s, x, routing, params, opts)
+				out = moe.PFTForward(r, g, cfg, s, x, routing, params, opts).Output
 			}
-			outs[r.ID] = res.Output
+			outs[r.ID] = out
 			return nil
 		})
 		if err != nil {

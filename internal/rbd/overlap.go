@@ -227,7 +227,16 @@ func (d *Dispatcher) CombineOverlap(r *simrt.Rank, st *State, pilotOut, replicaO
 	r.Compute(StageCMerge, comp.MemBound(perfmodel.ClassTriton, 2*int64(st.pilotRowsTotal)*int64(h)*elem))
 
 	s2Back := c2Handle.Wait()
-	if opts.Numeric {
+	if st.save != nil && opts.Numeric {
+		// Backward dots the merged-row gradients against these (the
+		// replica return payloads are sender-fresh, the abs-indexed pilot
+		// outputs become FwdState.PilotOut).
+		st.save.S2Back = make([][]float32, nodeGroup.Size())
+		for slot := range st.save.S2Back {
+			st.save.S2Back[slot] = s2Back[slot].Data
+		}
+		st.save.PilotOut = pilotAbsOut
+	} else if opts.Numeric {
 		r.Pool().Put(pilotAbsOut)
 	}
 
@@ -332,7 +341,7 @@ func (d *Dispatcher) CombineOverlap(r *simrt.Rank, st *State, pilotOut, replicaO
 // the pilot-scaling merge, and the chunked C1 return under the replica
 // accumulations.
 func forwardOverlap(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, pft *moe.PFT,
-	dispIn *tensor.Tensor, params *moe.ExpertParams, pilotRNG *tensor.RNG, rbdOpts Opts) (*tensor.Tensor, int) {
+	dispIn *tensor.Tensor, params *moe.ExpertParams, pilotRNG *tensor.RNG, rbdOpts Opts) (*tensor.Tensor, int, *State) {
 
 	h, f := cfg.HModel, cfg.HFFN
 	elem := int64(cfg.BytesPerElem)
@@ -352,14 +361,23 @@ func forwardOverlap(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, pft *mo
 	r.Compute(moe.StageExperts, comp.SequentialGEMM(st.PilotRowsPerLE, h, f)+
 		comp.SequentialGEMM(st.PilotRowsPerLE, f, h)+
 		comp.MemBound(perfmodel.ClassTriton, 2*int64(nPilot)*int64(f)*elem))
-	var pilotOut *tensor.Tensor
+	var pilotOut, pilotPre, pilotAct *tensor.Tensor
 	if rbdOpts.Numeric {
 		interm := pool.Get(nPilot, f)
 		kernels.SequentialGEMMInto(interm, pilotIn, st.PilotRowsPerLE, params.W1)
-		tensor.GeLU(interm)
+		act := interm
+		if st.save != nil {
+			act = pool.Get(nPilot, f)
+			act.Copy(interm)
+		}
+		tensor.GeLU(act)
 		pilotOut = pool.Get(nPilot, h)
-		kernels.SequentialGEMMInto(pilotOut, interm, st.PilotRowsPerLE, params.W2)
-		pool.PutAll(pilotIn, interm)
+		kernels.SequentialGEMMInto(pilotOut, act, st.PilotRowsPerLE, params.W2)
+		if st.save != nil {
+			pilotPre, pilotAct = interm, act
+		} else {
+			pool.PutAll(pilotIn, interm)
+		}
 	}
 
 	replicaIn := d.FinishS2(r, st, rbdOpts)
@@ -372,20 +390,55 @@ func forwardOverlap(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, pft *mo
 	r.Compute(moe.StageExperts, comp.SequentialGEMM(st.ReplicaRowsPerLE, h, f)+
 		comp.SequentialGEMM(st.ReplicaRowsPerLE, f, h)+
 		comp.MemBound(perfmodel.ClassTriton, 2*int64(nReplica)*int64(f)*elem))
-	var replicaOut *tensor.Tensor
+	var replicaOut, replicaPre, replicaAct *tensor.Tensor
 	if rbdOpts.Numeric {
 		interm := pool.Get(nReplica, f)
 		kernels.SequentialGEMMInto(interm, replicaIn, st.ReplicaRowsPerLE, params.W1)
-		tensor.GeLU(interm)
+		act := interm
+		if st.save != nil {
+			act = pool.Get(nReplica, f)
+			act.Copy(interm)
+		}
+		tensor.GeLU(act)
 		replicaOut = pool.Get(nReplica, h)
-		kernels.SequentialGEMMInto(replicaOut, interm, st.ReplicaRowsPerLE, params.W2)
-		pool.PutAll(replicaIn, interm)
+		kernels.SequentialGEMMInto(replicaOut, act, st.ReplicaRowsPerLE, params.W2)
+		if st.save != nil {
+			replicaPre, replicaAct = interm, act
+		} else {
+			pool.PutAll(replicaIn, interm)
+		}
 	}
 
 	bExp := nPilot + nReplica
 	mem.Alloc("A0_interm", int64(bExp)*int64(f)*elem)
 	mem.Alloc("A1_interm", int64(bExp)*int64(f)*elem)
 
+	if st.save != nil && rbdOpts.Numeric {
+		// Scatter the split pilot/replica intermediates into the blocking
+		// full layout (per local expert: pilot rows, then replica rows) so
+		// Backward is chunk-count-agnostic. Host-side staging, uncharged —
+		// mirrors the forward's own uncharged expertOut split in Combine.
+		expertIn := pool.Get(bExp, h)
+		hidPre := pool.Get(bExp, f)
+		hidAct := pool.Get(bExp, f)
+		pOff, rOff, off := 0, 0, 0
+		for le := 0; le < d.EPR; le++ {
+			np, nr := st.PilotRowsPerLE[le], st.ReplicaRowsPerLE[le]
+			copy(expertIn.Data[off*h:(off+np)*h], pilotIn.Data[pOff*h:(pOff+np)*h])
+			copy(hidPre.Data[off*f:(off+np)*f], pilotPre.Data[pOff*f:(pOff+np)*f])
+			copy(hidAct.Data[off*f:(off+np)*f], pilotAct.Data[pOff*f:(pOff+np)*f])
+			off += np
+			copy(expertIn.Data[off*h:(off+nr)*h], replicaIn.Data[rOff*h:(rOff+nr)*h])
+			copy(hidPre.Data[off*f:(off+nr)*f], replicaPre.Data[rOff*f:(rOff+nr)*f])
+			copy(hidAct.Data[off*f:(off+nr)*f], replicaAct.Data[rOff*f:(rOff+nr)*f])
+			off += nr
+			pOff += np
+			rOff += nr
+		}
+		st.save.ExpertIn, st.save.HidPre, st.save.HidAct = expertIn, hidPre, hidAct
+		pool.PutAll(pilotIn, pilotPre, pilotAct, replicaIn, replicaPre, replicaAct)
+	}
+
 	out := d.CombineOverlap(r, st, pilotOut, replicaOut, s, rbdOpts)
-	return out, bExp
+	return out, bExp, st
 }

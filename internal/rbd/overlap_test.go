@@ -142,16 +142,18 @@ func TestExpertGEMMsHideS2C2(t *testing.T) {
 }
 
 // TestExpectedRedundancyRateMatchesMonteCarlo compares the closed-form
-// redundancy rate against AnalyzeRedundancy on uniform routing, including
-// the non-divisible E/nodes case the formula approximates with a
-// fractional per-node expert count (E=10 over 4 nodes places 3/2/3/2).
+// redundancy rate against AnalyzeRedundancy on uniform routing. The
+// closed form sums the exact per-node hit probability over the canonical
+// placement, so the non-divisible E/nodes cases (E=10 over 4 nodes places
+// 3/2/3/2) are exact too — only sampling noise remains; see
+// TestExpectedRedundancyRateExactInvariant for the big.Rat pin.
 func TestExpectedRedundancyRateMatchesMonteCarlo(t *testing.T) {
 	for _, tc := range []struct {
 		e, k, nodes int
 		tol         float64
 	}{
-		{8, 3, 4, 0.01},   // divisible: formula is exact up to sampling noise
-		{10, 3, 4, 0.02},  // non-divisible: 2.5 experts/node on average
+		{8, 3, 4, 0.01},   // divisible
+		{10, 3, 4, 0.02},  // non-divisible: nodes hold 3/2/3/2 experts
 		{10, 4, 4, 0.025}, // non-divisible, larger fan-out
 	} {
 		nodeOfExpert := func(e int) int { return e * tc.nodes / tc.e }

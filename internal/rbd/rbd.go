@@ -63,6 +63,12 @@ type Opts struct {
 	// the fast links RBD already exploits). Values <= 1 select the
 	// blocking path; numeric output is bit-identical either way.
 	OverlapChunks int
+	// Save keeps the hierarchical exchange state and the expert-FFN
+	// intermediates needed by Backward (the SaveForBackward analogue):
+	// the dispatch geometry plus, in numeric mode, the expert inputs,
+	// pre-/post-activation hidden buffers, pilot expert outputs, and the
+	// combine-stage replica return payloads.
+	Save bool
 }
 
 // chunks returns the effective chunk count (1 = blocking).
@@ -170,10 +176,13 @@ type rowRef struct {
 }
 
 // s2Sent records, on the pilot-holding rank, where each Stage-2 replica
-// row must merge back during combine.
+// row must merge back during combine, and which source rank announced it
+// (src = EP member, ri = index into that source's s1Meta.replicas) so the
+// backward can route the replica's combine-weight gradient home.
 type s2Sent struct {
 	pilotAbs int
 	weight   float32
+	src, ri  int
 }
 
 // State carries the per-rank dispatch bookkeeping the combine stage needs.
@@ -212,6 +221,13 @@ type State struct {
 	replicaRef []rowRef
 	// node group used for stage 2
 	nodeGroup *simrt.Group
+	// save is the forward state retained for Backward (nil unless
+	// Opts.Save); replicaEntry[dst][ri] is the PFT entry index of the
+	// ri-th replica this rank announced to EP member dst, mirroring the
+	// s1Meta.replicas order so returned weight gradients map back to
+	// entries.
+	save         *FwdState
+	replicaEntry [][]int
 }
 
 // Dispatch runs RBD stages 0-2 for rank r: pilot selection, inter-node
@@ -343,6 +359,9 @@ func (d *Dispatcher) DispatchPilots(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.
 	mem := &r.Dev().Mem
 
 	st := &State{pft: pft, nodeGroup: nodeGroup}
+	if opts.Save {
+		st.save = &FwdState{St: st}
+	}
 	b := pft.B()
 
 	// --- Stage 0: pilot selection -----------------------------------------
@@ -455,9 +474,20 @@ func (d *Dispatcher) DispatchPilots(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.
 		replicasPerDst[d.memberOfExpert(pft.ExpertIDs[pilotOf[i]])+1]++
 	}
 	replicasFlat := make([]replicaMeta, replicaCount)
+	var entryFlat []int
 	for dst := 0; dst < p; dst++ {
 		replicasPerDst[dst+1] += replicasPerDst[dst]
 		metas[dst].replicas = replicasFlat[replicasPerDst[dst]:replicasPerDst[dst]]
+	}
+	if opts.Save {
+		// Backward needs the replica -> PFT entry map to land returned
+		// combine-weight gradients; views share one flat backing like the
+		// metadata rows above.
+		entryFlat = make([]int, replicaCount)
+		st.replicaEntry = make([][]int, p)
+		for dst := 0; dst < p; dst++ {
+			st.replicaEntry[dst] = entryFlat[replicasPerDst[dst]:replicasPerDst[dst]]
+		}
 	}
 	for i := 0; i < b; i++ {
 		if isPilot[i] {
@@ -470,6 +500,9 @@ func (d *Dispatcher) DispatchPilots(r *simrt.Rank, pft *moe.PFT, dispIn *tensor.
 			expert:   pft.ExpertIDs[i],
 			weight:   pft.CombineWeights[i],
 		})
+		if opts.Save {
+			st.replicaEntry[dst] = append(st.replicaEntry[dst], i)
+		}
 	}
 
 	// --- Stage 1: pilot instantiation + inter-node exchange ----------------
@@ -594,6 +627,7 @@ func (d *Dispatcher) stageReplicas(r *simrt.Rank, st *State, opts Opts) []simrt.
 	type stagedReplica struct {
 		pilotAbs int
 		meta     replicaMeta
+		src, ri  int
 	}
 	// Count per destination slot, then fill flat-backed views.
 	nReplicasIn := 0
@@ -615,10 +649,10 @@ func (d *Dispatcher) stageReplicas(r *simrt.Rank, st *State, opts Opts) []simrt.
 		staged[slot] = stagedFlat[stagedCount[slot]:stagedCount[slot]]
 	}
 	for src := 0; src < p; src++ {
-		for _, rm := range st.recvMetas[src].replicas {
+		for ri, rm := range st.recvMetas[src].replicas {
 			abs := st.pilotPartOff[src] + rm.pilotRel // re-encode to absolute
 			slot := d.slotOfMember[d.memberOfExpert(rm.expert)]
-			staged[slot] = append(staged[slot], stagedReplica{pilotAbs: abs, meta: rm})
+			staged[slot] = append(staged[slot], stagedReplica{pilotAbs: abs, meta: rm, src: src, ri: ri})
 		}
 	}
 	// Stable order by expert id within each destination (the paper keeps
@@ -642,7 +676,7 @@ func (d *Dispatcher) stageReplicas(r *simrt.Rank, st *State, opts Opts) []simrt.
 		}
 		for pos, sr := range rows {
 			meta[pos] = sr.meta
-			sent[pos] = s2Sent{pilotAbs: sr.pilotAbs, weight: sr.meta.weight}
+			sent[pos] = s2Sent{pilotAbs: sr.pilotAbs, weight: sr.meta.weight, src: sr.src, ri: sr.ri}
 			if opts.Numeric {
 				copy(data[pos*h:(pos+1)*h], st.pilotRows.Row(sr.pilotAbs))
 			}
@@ -704,6 +738,15 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 		s2Send[slot] = part
 	}
 	s2Back := r.AlltoAllV(nodeGroup, StageC2A2A, s2Send)
+	if st.save != nil && opts.Numeric {
+		// Backward dots the merged-row gradients against these replica
+		// expert outputs; senders allocated the payloads fresh, so the
+		// views stay valid past the rendezvous.
+		st.save.S2Back = make([][]float32, nodeGroup.Size())
+		for slot := range st.save.S2Back {
+			st.save.S2Back[slot] = s2Back[slot].Data
+		}
+	}
 
 	// --- Merge replicas into pilots + inter-node pilot return --------------
 	// Blocking: one weight-scaled merge pass, then one all-to-all.
@@ -820,7 +863,11 @@ func (d *Dispatcher) Combine(r *simrt.Rank, st *State, expertOut *tensor.Tensor,
 		}
 	}
 	if opts.Numeric {
-		r.Pool().Put(pilotOut)
+		if st.save != nil {
+			st.save.PilotOut = pilotOut
+		} else {
+			r.Pool().Put(pilotOut)
+		}
 	}
 
 	// Reassemble the per-destination return buffers (chunk parts land at
@@ -925,20 +972,39 @@ func AnalyzeRedundancy(rt moe.Routing, nodeOfExpert func(int) int, srcNode int) 
 }
 
 // ExpectedRedundancyRate returns the closed-form redundancy rate for
-// uniform top-k routing over E experts spread evenly across n nodes:
-// 1 - n/k * (1 - C(E-E/n, k)/C(E, k)), the hypergeometric expectation of
-// distinct destination nodes divided by k.
+// uniform top-k routing over E experts placed across n nodes with the
+// canonical block placement nodeOfExpert(x) = x*n/E (equal blocks when
+// n | E, blocks differing by one otherwise). For each node holding c
+// experts, P(node receives no copy) = C(E-c, k)/C(E, k); summing the
+// per-node hit probabilities gives the exact hypergeometric expectation
+// of distinct destination nodes, and the rate is 1 minus that divided by
+// k. Exact for any (E, k, n) — the non-divisible case uses each node's
+// true integer expert count, not the fractional E/n approximation.
 func ExpectedRedundancyRate(e, k, nodes int) float64 {
-	if nodes <= 0 || k <= 0 {
+	if nodes <= 0 || k <= 0 || e <= 0 {
 		return 0
 	}
-	perNode := float64(e) / float64(nodes)
-	// P(no expert on a given node) = prod_{i=0..k-1} (E - perNode - i) / (E - i)
-	pNone := 1.0
-	for i := 0; i < k; i++ {
-		pNone *= (float64(e) - perNode - float64(i)) / (float64(e) - float64(i))
+	if k > e {
+		k = e
 	}
-	expectedNodes := float64(nodes) * (1 - pNone)
+	perNode := make([]int, nodes)
+	for x := 0; x < e; x++ {
+		perNode[x*nodes/e]++
+	}
+	expectedNodes := 0.0
+	for _, c := range perNode {
+		// P(no copy on this node) = prod_{i=0..k-1} (E - c - i) / (E - i).
+		pNone := 1.0
+		for i := 0; i < k && pNone != 0; i++ {
+			num := e - c - i
+			if num <= 0 {
+				pNone = 0
+				break
+			}
+			pNone *= float64(num) / float64(e-i)
+		}
+		expectedNodes += 1 - pNone
+	}
 	if expectedNodes > float64(k) {
 		expectedNodes = float64(k)
 	}

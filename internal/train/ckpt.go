@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"xmoe/internal/moe"
+	"xmoe/internal/rbd"
 	"xmoe/internal/simrt"
 	"xmoe/internal/tensor"
 )
@@ -160,6 +161,9 @@ func (t *DistTrainer) Shrink(newWorld int) error {
 	t.Cfg = cfg
 	t.cluster = cluster
 	t.group = cluster.WorldGroup()
+	if cfg.Transport == "rbd" {
+		t.rbdDisp = rbd.NewDispatcher(cluster, t.group, cfg.MoE)
+	}
 	t.params = make([]*moe.ExpertParams, cfg.World)
 	t.bias = make([][]float32, cfg.World)
 	t.dataRNG = make([]*tensor.RNG, cfg.World)

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"xmoe/internal/moe"
+	"xmoe/internal/rbd"
 	"xmoe/internal/simrt"
 	"xmoe/internal/tensor"
 	"xmoe/internal/topology"
@@ -46,8 +47,9 @@ type DistConfig struct {
 	LR float64
 	// Seed drives weight init, inputs, and routing.
 	Seed uint64
-	// Transport selects the MoE exchange: "pft" (X-MoE padding-free) or
-	// "padded" (conventional baseline).
+	// Transport selects the MoE exchange: "pft" (X-MoE padding-free),
+	// "padded" (conventional baseline), or "rbd" (X-MoE hierarchical
+	// redundancy-bypassing dispatch, forward and backward).
 	Transport string
 	// ZeROStage selects dense-parameter state sharding across the world
 	// group: 0 replicates gradients and optimizer state (the classic
@@ -72,8 +74,16 @@ type DistConfig struct {
 
 // Check validates the trainer configuration.
 func (c DistConfig) Check() error {
-	if c.Transport != "pft" && c.Transport != "padded" {
-		return fmt.Errorf("train: unknown transport %q (want pft or padded)", c.Transport)
+	if c.Transport != "pft" && c.Transport != "padded" && c.Transport != "rbd" {
+		return fmt.Errorf("train: unknown transport %q (want pft, padded, or rbd)", c.Transport)
+	}
+	if c.Transport == "rbd" {
+		// The hierarchical backward rejects option combos the flat
+		// transports tolerate (e.g. a CombineBytes override); surface the
+		// typed *moe.OptionError here instead of a rank panic mid-step.
+		if err := rbd.CheckOpts(c.Opts); err != nil {
+			return fmt.Errorf("train: transport rbd: %w", err)
+		}
 	}
 	if c.World < 1 || c.Tokens < 1 {
 		return fmt.Errorf("train: world %d / tokens %d must be positive", c.World, c.Tokens)
@@ -98,6 +108,9 @@ type DistTrainer struct {
 	Cfg     DistConfig
 	cluster *simrt.Cluster
 	group   *simrt.Group
+	// rbdDisp is the hierarchical dispatcher when Transport is "rbd"
+	// (nil otherwise); rebuilt alongside the cluster on Shrink.
+	rbdDisp *rbd.Dispatcher
 	params  []*moe.ExpertParams // per rank, local experts
 	// bias is the replicated dense parameter ([H] per rank, kept
 	// bit-identical across ranks by an all-reduced gradient): the smallest
@@ -164,6 +177,9 @@ func NewDistTrainer(cfg DistConfig) (*DistTrainer, error) {
 		params:  make([]*moe.ExpertParams, cfg.World),
 		bias:    make([][]float32, cfg.World),
 		dataRNG: make([]*tensor.RNG, cfg.World),
+	}
+	if cfg.Transport == "rbd" {
+		t.rbdDisp = rbd.NewDispatcher(cluster, t.group, cfg.MoE)
 	}
 	epr := cfg.MoE.NumExperts / cfg.World
 	for rank := 0; rank < cfg.World; rank++ {
@@ -288,6 +304,15 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 			out, dropped = res.Output, res.Dropped
 			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
 				return moe.PaddedBackward(r, t.group, cfg.MoE, res.PaddedState, dOut, params, opts)
+			}
+		case "rbd":
+			// The pilot draws come from the slot's persistent data stream, so
+			// pilot selection is part of the checkpointed training state: a
+			// restored run replays the identical pilots with no extra fields.
+			res := rbd.Forward(r, t.rbdDisp, cfg.MoE, s, x, routing, params, rng, cfg.Opts)
+			out, dropped = res.Output, res.Dropped
+			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
+				return rbd.Backward(r, t.rbdDisp, cfg.MoE, res.State, dOut, params, opts)
 			}
 		}
 
