@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent verify-zero verify-rbd bench bench-figs bench-json bench-save ci
+.PHONY: all build vet test race race-fast race-full chaos-fast verify-devent verify-zero verify-rbd verify-ft bench bench-figs bench-json bench-save ci
 
 all: build
 
@@ -72,6 +72,17 @@ verify-rbd:
 	$(GO) test -race ./internal/rbd
 	$(GO) test -race -run 'RBD|Redundancy' ./internal/train ./internal/bench ./internal/baselines
 
+# Fault-tolerance verification gate: the elastic-resilience stack under
+# the race detector — the fault plan grammar and injector windows,
+# grow/shrink cycle bit-determinism, async==blocking checkpoint weight
+# parity (with the mid-write fallback pin), hot-spare promotion, the
+# straggler-aware capacity rebalance, and the all-features determinism
+# acceptance run.
+verify-ft:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race -run 'GrowShrink|AsyncCkpt|Spare|Mitigation|FaultTolerant|Rebalance|CheckpointBytes|BuildPFTCaps|BusyTimes' \
+		./internal/train ./internal/moe ./internal/memmodel ./internal/simrt
+
 # Chaos pass: the seeded fault-injection suite under the race detector —
 # rank crashes mid-collective, stragglers, flaky retries, degraded links,
 # checkpoint rollback and elastic recovery. Every schedule is
@@ -102,7 +113,7 @@ bench-save:
 # Quick CI: vet + build + race tests on the fast packages + the chaos
 # suite + unit tests of the remaining packages + a quick microbenchmark
 # smoke run.
-ci: vet build race-fast chaos-fast verify-rbd
+ci: vet build race-fast chaos-fast verify-rbd verify-ft
 	$(GO) test ./internal/... .
 	$(GO) test -run=NONE -bench='BenchmarkPFTLayerForwardBackward|BenchmarkMoEFFNForwardBackward' \
 		-benchmem -benchtime=10x ./internal/moe ./internal/train

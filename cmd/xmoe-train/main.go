@@ -31,7 +31,8 @@ import (
 // drawn for -mtbf), checkpointing every -ckpt-every steps, recovering
 // from crashes by rollback + elastic shrink, and reporting goodput.
 func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
-	faults string, mtbf float64, ckptEvery int, zeroStage int, bucketMB int64, momentum float64) {
+	faults string, mtbf float64, ckptEvery int, asyncCkpt bool, spares int, mitigate float64,
+	zeroStage int, bucketMB int64, momentum float64) {
 
 	sh := model.Small()
 	cfg := train.DistConfig{
@@ -44,6 +45,7 @@ func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
 		Transport: transport,
 		Opts:      moe.PipelineOpts{OverlapChunks: overlap},
 		ZeROStage: zeroStage, BucketBytes: bucketMB << 20, Momentum: momentum,
+		Mitigation: mitigate,
 	}
 	if err := cfg.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -66,21 +68,32 @@ func runDistFT(transport string, world, tokens, overlap, iters int, seed uint64,
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	plan.Spares += spares
 	rec := &trace.Recorder{}
-	fmt.Printf("fault-tolerant %s trainer: EP=%d, %d tokens/rank, %d steps, ckpt every %d\n",
-		transport, world, tokens, iters, ckptEvery)
+	mode := "blocking"
+	if asyncCkpt {
+		mode = "async"
+	}
+	fmt.Printf("fault-tolerant %s trainer: EP=%d, %d tokens/rank, %d steps, %s ckpt every %d\n",
+		transport, world, tokens, iters, mode, ckptEvery)
+	if plan.Spares > 0 {
+		fmt.Printf("hot-spare pool: %d\n", plan.Spares)
+	}
+	if mitigate > 0 {
+		fmt.Printf("straggler mitigation: capacity rebalance bound %g\n", mitigate)
+	}
 	if plan.String() != "" {
 		fmt.Printf("fault plan: %s\n", plan)
 	}
 	st, err := tr.RunFaultTolerant(train.FTOptions{
-		Steps: iters, CkptEvery: ckptEvery, Plan: plan, Rec: rec,
+		Steps: iters, CkptEvery: ckptEvery, AsyncCkpt: asyncCkpt, Plan: plan, Rec: rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\ncompleted %d useful steps: %d recoveries, %d replayed, world %d -> %d\n",
-		st.Steps, st.Recoveries, st.ReplayedSteps, world, st.FinalWorld)
+	fmt.Printf("\ncompleted %d useful steps: %d recoveries, %d replayed, %d spares promoted, world %d -> %d\n",
+		st.Steps, st.Recoveries, st.ReplayedSteps, st.SparesUsed, world, st.FinalWorld)
 	fmt.Printf("final loss %.6f\n", st.FinalLoss)
 	fmt.Printf("goodput %.3f: useful %.3fms + ckpt %.3fms + lost %.3fms = wall %.3fms\n",
 		st.Goodput, st.UsefulTime*1e3, st.CkptTime*1e3, st.LostTime*1e3, st.WallClock*1e3)
@@ -205,6 +218,9 @@ func main() {
 	faults := flag.String("faults", "", "distributed mode: deterministic fault plan, e.g. 'crash:r1@s4,straggler:r0@s0:x2' (implies fault-tolerant run)")
 	mtbf := flag.Float64("mtbf", 0, "distributed mode: draw Poisson crash arrivals with this mean-time-between-failures in simulated seconds (implies fault-tolerant run)")
 	ckptEvery := flag.Int("ckpt-every", 5, "fault-tolerant mode: checkpoint every N steps")
+	asyncCkpt := flag.Bool("async-ckpt", false, "fault-tolerant mode: stream checkpoint writes behind training steps, charging only the uncovered remainder (crash mid-write falls back to the last completed snapshot)")
+	spares := flag.Int("spares", 0, "fault-tolerant mode: hot-spare pool size; recovery promotes spares into dead slots, regrowing toward the original world (adds to any spares:<n> in -faults)")
+	mitigate := flag.Float64("mitigate", 0, "fault-tolerant mode: straggler-aware capacity rebalance bound in (0,1]; 0 disables (pft and rbd transports only)")
 	engine := flag.String("engine", "analytic", "distributed mode: cost engine for the timing-at-scale replay ("+bench.EngineSpecs+")")
 	zeroStage := flag.Int("zero", 0, "distributed mode: ZeRO stage (0 = replicated, 1 = sharded optimizer state, 2 = + sharded gradients)")
 	bucketMB := flag.Int64("bucket-mb", 0, "distributed mode: gradient-sync bucket size in MiB (0 = one bucket per stream)")
@@ -212,9 +228,10 @@ func main() {
 	flag.Parse()
 
 	if *dist {
-		if *faults != "" || *mtbf > 0 {
+		if *faults != "" || *mtbf > 0 || *spares > 0 {
 			runDistFT(*transport, *world, *tokens, *overlap, *distIters, *seed,
-				*faults, *mtbf, *ckptEvery, *zeroStage, *bucketMB, *momentum)
+				*faults, *mtbf, *ckptEvery, *asyncCkpt, *spares, *mitigate,
+				*zeroStage, *bucketMB, *momentum)
 			return
 		}
 		if _, err := bench.NewEngine(topology.Frontier(), *world, *engine); err != nil {

@@ -412,4 +412,45 @@ func TestAblationFaultsShape(t *testing.T) {
 	if res.FT.Goodput <= 0 || res.FT.Goodput >= 1 {
 		t.Errorf("numeric trainer goodput %v outside (0, 1)", res.FT.Goodput)
 	}
+	// Async checkpointing dominates blocking at every MTBF point: the
+	// write streams behind real steps instead of stalling them.
+	for ti, tr := range res.Transports {
+		for mi, mx := range res.MTBFxStep {
+			if res.GoodputAsync[ti][mi] < res.Goodput[ti][mi]-1e-12 {
+				t.Errorf("%s MTBF=%gx: async goodput %v below blocking %v",
+					tr, mx, res.GoodputAsync[ti][mi], res.Goodput[ti][mi])
+			}
+		}
+	}
+	// Spare promotion: the pool restores the original world after the
+	// crash and never hurts — useful tokens and goodput are monotone
+	// non-decreasing in pool size, strictly better once a spare exists.
+	for i, st := range res.SpareFT {
+		total := st.UsefulTime + st.CkptTime + st.LostTime
+		if d := total - st.WallClock; d > 1e-9*st.WallClock || d < -1e-9*st.WallClock {
+			t.Errorf("spares=%d: wall %v != useful+ckpt+lost %v", res.SpareSizes[i], st.WallClock, total)
+		}
+		if i == 0 {
+			continue
+		}
+		if st.UsefulTokens < res.SpareFT[i-1].UsefulTokens {
+			t.Errorf("spares=%d: useful tokens %d below smaller pool's %d",
+				res.SpareSizes[i], st.UsefulTokens, res.SpareFT[i-1].UsefulTokens)
+		}
+	}
+	if res.SpareFT[0].FinalWorld >= 4 || res.SpareFT[1].FinalWorld != 4 || res.SpareFT[1].SparesUsed != 1 {
+		t.Errorf("spare sweep worlds: no-spare %+v, one-spare %+v", res.SpareFT[0], res.SpareFT[1])
+	}
+	if res.SpareFT[1].UsefulTokens <= res.SpareFT[0].UsefulTokens {
+		t.Errorf("regrow must beat shrink on useful tokens: %d vs %d",
+			res.SpareFT[1].UsefulTokens, res.SpareFT[0].UsefulTokens)
+	}
+	// Mitigation: strictly faster under real stragglers (x >= 2), and
+	// never catastrophically slower without one.
+	for i, sc := range res.MitigationScale {
+		if sc >= 2 && res.WallMitigated[i] >= res.WallUnmitigated[i] {
+			t.Errorf("x%g: mitigated wall %v not below unmitigated %v",
+				sc, res.WallMitigated[i], res.WallUnmitigated[i])
+		}
+	}
 }

@@ -9,13 +9,14 @@ package bench
 //
 // Two tiers share the fault machinery. The numeric tier runs the real
 // DistTrainer through RunFaultTolerant — actual crash, rollback, elastic
-// shrink, bit-deterministic recovery — at test-scale dims. The at-scale
-// tier replays deterministic Poisson crash schedules (fault.PlanCrashes)
-// against measured per-step times on the paper's Large layer, keeping the
-// world fixed across failures (crash-with-replacement, the standard
-// goodput model). RBD has no backward pass in this codebase, so its step
-// time uses the repo's forward*3 convention (backward ~ 2x compute + 1x
-// comm of the forward).
+// shrink/regrow, spare promotion, straggler mitigation, bit-deterministic
+// recovery — at test-scale dims. The at-scale tier replays deterministic
+// Poisson crash schedules (fault.PlanCrashes) against measured per-step
+// times on the paper's Large layer, keeping the world fixed across
+// failures (crash-with-replacement, the standard goodput model), in both
+// blocking and async checkpoint modes. All three transports are measured
+// fwd+bwd: RBD runs its native hierarchical backward (the reverse-stage
+// dispatch), not a scaled-forward estimate.
 
 import (
 	"fmt"
@@ -49,34 +50,64 @@ type AblationFaultsResult struct {
 	CkptGoodput []float64
 	// YoungDalySteps is the analytic optimum interval in steps.
 	YoungDalySteps float64
+	// GoodputAsync[t][m] mirrors Goodput with asynchronous checkpoint
+	// writes: the write streams behind subsequent steps and only the
+	// uncovered remainder stalls, at the cost of falling back one more
+	// interval when a crash lands mid-write.
+	GoodputAsync [][]float64
 	// StragglerScale is the compute-multiplier sweep for one slow rank.
 	StragglerScale []float64
 	// StragglerSlowdown[t][i] is transport t's step-time ratio vs healthy.
 	StragglerSlowdown [][]float64
 	// FT is the numeric trainer's recovery run (real crash + rollback).
 	FT train.FTStats
+	// SpareSizes is the hot-spare-pool sweep; SpareFT[i] is the numeric
+	// trainer's run with SpareSizes[i] spares against the same crash.
+	SpareSizes []int
+	SpareFT    []train.FTStats
+	// MitigationScale is the straggler-multiplier sweep for the at-scale
+	// mitigation comparison (pft, Large dims); WallUnmitigated/WallMitigated
+	// are the per-step wall-clocks with the capacity rebalance off and on.
+	MitigationScale []float64
+	WallUnmitigated []float64
+	WallMitigated   []float64
 }
 
 // replayGoodput walks a deterministic crash schedule against a fixed
 // per-step time: steps complete sequentially, a checkpoint (cost ckpt) is
 // written every ckptEvery useful steps, and a crash arriving mid-flight
-// rolls progress back to the last checkpoint and charges a restart read.
-// Returns useful/wall. The world stays fixed (failed nodes are replaced).
-func replayGoodput(stepSec, ckpt float64, ckptEvery, steps int, crashes []float64) float64 {
+// rolls progress back to the last durable checkpoint and charges a
+// restart read. Returns useful/wall. The world stays fixed (failed nodes
+// are replaced). In blocking mode every write stalls training for its
+// full cost and is durable immediately; in async mode the write streams
+// behind the following steps (same double-buffer schedule as
+// train.CkptStream) — only the remainder still in flight when the next
+// write is issued stalls, and a crash landing mid-write discards the
+// in-flight snapshot, rolling back to the previous durable one.
+func replayGoodput(stepSec, ckpt float64, ckptEvery, steps int, crashes []float64, async bool) float64 {
 	if ckptEvery < 1 {
 		ckptEvery = 1
 	}
 	wall, useful := 0.0, 0.0
-	done, lastCkpt := 0, 0
+	done, durable := 0, 0
+	pending, pendEnd := -1, 0.0
+	promote := func(now float64) {
+		if pending >= 0 && now >= pendEnd {
+			durable, pending = pending, -1
+		}
+	}
 	ci := 0
 	for done < steps {
 		end := wall + stepSec
 		if ci < len(crashes) && crashes[ci] < end {
-			// Crash mid-step: partial attempt plus everything since the
-			// last checkpoint is lost.
+			// Crash mid-step: the partial attempt plus everything since
+			// the durable checkpoint is lost; a write still streaming at
+			// the crash instant never became durable.
+			promote(crashes[ci])
+			pending = -1
 			wall = crashes[ci] + ckpt // restart read
-			useful -= float64(done-lastCkpt) * stepSec
-			done = lastCkpt
+			useful -= float64(done-durable) * stepSec
+			done = durable
 			ci++
 			continue
 		}
@@ -84,8 +115,18 @@ func replayGoodput(stepSec, ckpt float64, ckptEvery, steps int, crashes []float6
 		useful += stepSec
 		done++
 		if done%ckptEvery == 0 && done < steps {
-			wall += ckpt
-			lastCkpt = done
+			promote(wall)
+			if pending >= 0 {
+				// Uncovered remainder: the previous write outlived its
+				// interval, so the new one stalls until it lands.
+				wall = pendEnd
+				durable, pending = pending, -1
+			}
+			pending, pendEnd = done, wall+ckpt
+			if !async {
+				wall = pendEnd
+				durable, pending = done, -1
+			}
 		}
 	}
 	return fault.Goodput(useful, wall)
@@ -93,8 +134,12 @@ func replayGoodput(stepSec, ckpt float64, ckptEvery, steps int, crashes []float6
 
 // stepClockInjected is StepClock with a fault injector attached: one
 // symbolic fwd+bwd step (pft/padded) under compute-scale injection.
+// caps, when non-nil, routes with per-expert capacities (the straggler
+// mitigation's rebalanced vector; pft only). Besides the wall-clock it
+// returns each rank's busy compute time — the observation the rebalance
+// feeds on.
 func stepClockInjected(m *topology.Machine, cfg moe.Config, world, s int,
-	transport string, chunks int, seed uint64, inj *fault.Injector) float64 {
+	transport string, chunks int, seed uint64, inj *fault.Injector, caps []int) (float64, []float64) {
 
 	c := simrt.NewCluster(m, world, seed)
 	c.Net.DisableCongestion = true
@@ -107,7 +152,7 @@ func stepClockInjected(m *topology.Machine, cfg moe.Config, world, s int,
 		rng := tensor.NewRNG(seed + uint64(r.ID))
 		rt := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0)
 		fwdOpts := moe.PipelineOpts{DropPolicy: moe.DropByCapacityWeight,
-			SaveForBackward: true, OverlapChunks: chunks}
+			SaveForBackward: true, OverlapChunks: chunks, CapacityByExpert: caps}
 		bwdOpts := moe.PipelineOpts{OverlapChunks: chunks}
 		switch transport {
 		case "pft":
@@ -123,13 +168,12 @@ func stepClockInjected(m *topology.Machine, cfg moe.Config, world, s int,
 	if err != nil {
 		panic(err)
 	}
-	return simrt.MaxClock(ranks)
+	return simrt.MaxClock(ranks), simrt.BusyTimes(ranks)
 }
 
-// rbdStepClock estimates one RBD training step: a full symbolic forward
-// (gate, hierarchical dispatch, expert GEMMs, combine) times three — the
-// repo's convention for a backward that mirrors the forward's exchanges
-// at roughly twice the compute.
+// rbdStepClock measures one RBD training step: a full symbolic forward
+// (gate, hierarchical dispatch, expert GEMMs, combine) followed by the
+// native hierarchical backward, which reverses the dispatch stages.
 func rbdStepClock(m *topology.Machine, cfg moe.Config, world, s int,
 	seed uint64, inj *fault.Injector) float64 {
 
@@ -144,14 +188,15 @@ func rbdStepClock(m *topology.Machine, cfg moe.Config, world, s int,
 	ranks, err := c.RunCollect(func(r *simrt.Rank) error {
 		rng := tensor.NewRNG(seed + uint64(r.ID))
 		rt := moe.SyntheticRouting(rng, s, cfg.NumExperts, cfg.TopK, 0)
-		rbd.Forward(r, d, cfg, s, nil, rt, nil, tensor.NewRNG(seed^uint64(r.ID)),
-			moe.PipelineOpts{DropPolicy: moe.DropByCapacityWeight})
+		res := rbd.Forward(r, d, cfg, s, nil, rt, nil, tensor.NewRNG(seed^uint64(r.ID)),
+			moe.PipelineOpts{DropPolicy: moe.DropByCapacityWeight, SaveForBackward: true})
+		rbd.Backward(r, d, cfg, res.State, nil, nil, moe.PipelineOpts{})
 		return nil
 	})
 	if err != nil {
 		panic(err)
 	}
-	return simrt.MaxClock(ranks) * 3
+	return simrt.MaxClock(ranks)
 }
 
 // AblationFaults runs the fault-tolerance ablation and prints its tables.
@@ -179,7 +224,7 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 		if tr == "rbd" {
 			t = rbdStepClock(m, cfg, ep, s, opts.Seed, nil)
 		} else {
-			t = stepClockInjected(m, cfg, ep, s, tr, 4, opts.Seed, nil)
+			t, _ = stepClockInjected(m, cfg, ep, s, tr, 4, opts.Seed, nil, nil)
 		}
 		res.StepSec = append(res.StepSec, t)
 	}
@@ -195,11 +240,16 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 	if opts.Quick {
 		steps = 1000
 	}
-	header(w, fmt.Sprintf("Ablation: goodput vs MTBF, %s layer, EP=%d (ckpt write %.1fms)", shape.Name, ep, ckpt*1e3))
-	tb := newTable(append([]string{"MTBF/step(pft)"}, res.Transports...)...)
+	header(w, fmt.Sprintf("Ablation: goodput vs MTBF, %s layer, EP=%d (ckpt write %.1fms), blocking vs async writes", shape.Name, ep, ckpt*1e3))
+	cols := []string{"MTBF/step(pft)"}
+	for _, tr := range res.Transports {
+		cols = append(cols, tr, tr+"-async")
+	}
+	tb := newTable(cols...)
 	base := res.StepSec[0]
 	for range res.Transports {
 		res.Goodput = append(res.Goodput, nil)
+		res.GoodputAsync = append(res.GoodputAsync, nil)
 	}
 	// Average several independent crash schedules per cell: a single
 	// Poisson realization is noisy enough to break monotonicity in MTBF.
@@ -211,19 +261,33 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 			st := res.StepSec[ti]
 			horizon := float64(steps) * st * 4
 			interval := int(math.Round(fault.YoungDaly(ckpt, mtbf) / st))
-			var g float64
+			// Each mode runs its own optimal interval. Young/Daly balances
+			// the blocking stall against replay; async has no stall to
+			// balance, so its interval is bandwidth-bound — the shortest
+			// one whose steps fully cover the streaming write — which also
+			// keeps the mid-write fallback distance small.
+			intervalAsync := int(math.Ceil(ckpt / st))
+			if intervalAsync < 1 {
+				intervalAsync = 1
+			}
+			var g, ga float64
 			for p := 0; p < plans; p++ {
 				crashes := fault.PlanCrashes(opts.Seed+uint64(ti)*31+uint64(p)*1e6, ep, horizon, mtbf).CrashTimes()
-				g += replayGoodput(st, ckpt, interval, steps, crashes)
+				g += replayGoodput(st, ckpt, interval, steps, crashes, false)
+				ga += replayGoodput(st, ckpt, intervalAsync, steps, crashes, true)
 			}
 			g /= plans
+			ga /= plans
 			res.Goodput[ti] = append(res.Goodput[ti], g)
-			row = append(row, fmt.Sprintf("%.3f", g))
+			res.GoodputAsync[ti] = append(res.GoodputAsync[ti], ga)
+			row = append(row, fmt.Sprintf("%.3f", g), fmt.Sprintf("%.3f", ga))
 		}
 		tb.add(row...)
 	}
 	tb.write(w)
-	fmt.Fprintln(w, "  checkpoint interval set to the Young/Daly optimum sqrt(2*delta*MTBF) per point;")
+	fmt.Fprintln(w, "  blocking uses the Young/Daly interval sqrt(2*delta*MTBF) per point; async uses the")
+	fmt.Fprintln(w, "  bandwidth-bound interval (write time / step time) since its writes stream behind the")
+	fmt.Fprintln(w, "  next steps and stall only the uncovered remainder;")
 	fmt.Fprintln(w, "  goodput = useful-step time / wall-clock, crashes replayed from seeded Poisson plans")
 
 	// --- Checkpoint-interval sensitivity vs Young/Daly ---------------------
@@ -237,7 +301,7 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 		for p := 0; p < plans; p++ {
 			horizon := float64(steps) * base * 4
 			crashes := fault.PlanCrashes(opts.Seed+uint64(p)*1e6, ep, horizon, mtbf).CrashTimes()
-			g += replayGoodput(base, ckpt, iv, steps, crashes)
+			g += replayGoodput(base, ckpt, iv, steps, crashes, false)
 		}
 		g /= plans
 		res.CkptGoodput = append(res.CkptGoodput, g)
@@ -269,7 +333,7 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 			if tr == "rbd" {
 				t = rbdStepClock(m, cfg, ep, s, opts.Seed, inj)
 			} else {
-				t = stepClockInjected(m, cfg, ep, s, tr, 4, opts.Seed, inj)
+				t, _ = stepClockInjected(m, cfg, ep, s, tr, 4, opts.Seed, inj, nil)
 			}
 			slow := t / res.StepSec[ti]
 			res.StragglerSlowdown[ti] = append(res.StragglerSlowdown[ti], slow)
@@ -308,10 +372,78 @@ func AblationFaults(w io.Writer, opts Options) AblationFaultsResult {
 	fmt.Fprintf(w, "  goodput %.3f (useful %.2fms, ckpt %.2fms, lost %.2fms, wall %.2fms)\n",
 		res.FT.Goodput, res.FT.UsefulTime*1e3, res.FT.CkptTime*1e3, res.FT.LostTime*1e3, res.FT.WallClock*1e3)
 
+	// --- Spare-pool size: shrink vs regrow after the same crash ------------
+	res.SpareSizes = []int{0, 1, 2}
+	header(w, "Ablation: hot-spare pool size (same crash; spares promote into the dead slot)")
+	tb = newTable("spares", "final world", "promoted", "useful tokens", "goodput")
+	for _, sp := range res.SpareSizes {
+		trn, err := train.NewDistTrainer(tcfg)
+		if err != nil {
+			panic(err)
+		}
+		plan, err := fault.ParsePlan(fmt.Sprintf("crash:r1@s%d,spares:%d", ftSteps/2, sp))
+		if err != nil {
+			panic(err)
+		}
+		st, err := trn.RunFaultTolerant(train.FTOptions{
+			Steps: ftSteps, CkptEvery: 3, AsyncCkpt: true, Plan: plan,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res.SpareFT = append(res.SpareFT, st)
+		tb.add(fmt.Sprintf("%d", sp), fmt.Sprintf("%d", st.FinalWorld),
+			fmt.Sprintf("%d", st.SparesUsed), fmt.Sprintf("%d", st.UsefulTokens),
+			fmt.Sprintf("%.3f", st.Goodput))
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  without spares the crash shrinks the world (and its token throughput) for the")
+	fmt.Fprintln(w, "  rest of the run; one promoted spare restores the original world")
+
+	// --- Straggler mitigation on/off ---------------------------------------
+	// Runs at the at-scale symbolic tier (Large dims): there the per-expert
+	// GEMMs are flops-dominated, so shifting capacity away from the slow rank
+	// genuinely moves the simulated step time. (At the numeric toy dims every
+	// GEMM sits on the kernel-launch floor and capacity changes are invisible
+	// — which is exactly why the trainer-level tests only pin determinism and
+	// loss tolerance, not wall-clock.) One observation step measures per-rank
+	// Busy compute clocks, RebalanceCapacity turns them into per-expert caps,
+	// and a second step runs with the caps applied.
+	res.MitigationScale = []float64{1, 2, 4}
+	header(w, fmt.Sprintf("Ablation: straggler-aware capacity rebalance (pft, EP=%d, one permanent straggler, bound 0.5)", ep))
+	tb = newTable("scale", "step off", "step on", "speedup")
+	for _, sc := range res.MitigationScale {
+		mkInj := func() *fault.Injector {
+			if sc == 1 {
+				return nil
+			}
+			plan, err := fault.ParsePlan(fmt.Sprintf("straggler:r0@s0:x%g", sc))
+			if err != nil {
+				panic(err)
+			}
+			return fault.NewInjector(plan, ep)
+		}
+		wallOff, busy := stepClockInjected(m, cfg, ep, s, "pft", 4, opts.Seed, mkInj(), nil)
+		wallOn := wallOff
+		if caps := moe.RebalanceCapacity(cfg, s, ep, busy, 0.5); caps != nil {
+			wallOn, _ = stepClockInjected(m, cfg, ep, s, "pft", 4, opts.Seed, mkInj(), caps)
+		}
+		res.WallUnmitigated = append(res.WallUnmitigated, wallOff)
+		res.WallMitigated = append(res.WallMitigated, wallOn)
+		tb.add(fmt.Sprintf("x%g", sc), fmt.Sprintf("%.2fms", wallOff*1e3),
+			fmt.Sprintf("%.2fms", wallOn*1e3), fmt.Sprintf("%.2fx", wallOff/wallOn))
+	}
+	tb.write(w)
+	fmt.Fprintln(w, "  per-rank Busy compute clocks from an observation step shift expert capacity away")
+	fmt.Fprintln(w, "  from the slow rank, clamped to +/-bound so the loss stays near uniform routing")
+
 	RecordMetric("abl_faults_pft_goodput_mtbf100", res.Goodput[0][1])
+	RecordMetric("abl_faults_pft_async_goodput_mtbf100", res.GoodputAsync[0][1])
 	RecordMetric("abl_faults_rbd_goodput_mtbf100", res.Goodput[2][1])
 	RecordMetric("abl_faults_youngdaly_steps", res.YoungDalySteps)
 	RecordMetric("abl_faults_ft_goodput", res.FT.Goodput)
+	RecordMetric("abl_faults_spare1_useful_tokens", float64(res.SpareFT[1].UsefulTokens))
+	RecordMetric("abl_faults_mitigation_x4_speedup", res.WallUnmitigated[2]/res.WallMitigated[2])
 	RecordMetric("abl_faults_pft_straggler_x4", res.StragglerSlowdown[0][3])
 	return res
 }

@@ -107,11 +107,21 @@ func (e Event) Delay() float64 {
 // Plan is a deterministic fault schedule.
 type Plan struct {
 	Events []Event
+	// Spares is the size of the hot-spare pool: idle ranks standing by
+	// outside the training world. After a crash, recovery promotes up to
+	// Spares of them into the dead ranks' slots, so the world can regrow
+	// toward its original size instead of shrinking for the rest of the
+	// run. Spec token: "spares:<n>". Spares are a pool, not named ranks —
+	// promotion fills the lowest dead slots first.
+	Spares int
 }
 
 // String renders the plan in the compact spec syntax ParsePlan accepts.
 func (p Plan) String() string {
-	parts := make([]string, 0, len(p.Events))
+	parts := make([]string, 0, len(p.Events)+1)
+	if p.Spares > 0 {
+		parts = append(parts, fmt.Sprintf("spares:%d", p.Spares))
+	}
 	for _, e := range p.Events {
 		switch e.Kind {
 		case Crash:
@@ -189,7 +199,11 @@ func parseLink(s string) (topology.LinkClass, error) {
 //	flaky:r<rank>@s<step>:t<timeout>[:n<retries>][:b<backoff>]
 //	link:<class>@s<step>:x<derate>[:n<steps>]   class: local|pair|intra|inter|rack
 //
-// e.g. "crash:r2@s3,straggler:r0@s0:x2,link:inter@s2:x4:n3".
+// plus the plan-level token
+//
+//	spares:<n>                       hot-spare pool size (see Plan.Spares)
+//
+// e.g. "crash:r2@s3,straggler:r0@s0:x2,link:inter@s2:x4:n3,spares:1".
 func ParsePlan(spec string) (Plan, error) {
 	var plan Plan
 	if strings.TrimSpace(spec) == "" {
@@ -198,6 +212,14 @@ func ParsePlan(spec string) (Plan, error) {
 	for _, tok := range strings.Split(spec, ",") {
 		tok = strings.TrimSpace(tok)
 		fields := strings.Split(tok, ":")
+		if len(fields) == 2 && fields[0] == "spares" {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return Plan{}, fmt.Errorf("fault: bad spare count %q (want spares:<n>, n >= 0)", tok)
+			}
+			plan.Spares += n
+			continue
+		}
 		if len(fields) < 2 {
 			return Plan{}, fmt.Errorf("fault: bad event %q (want kind:target@when...)", tok)
 		}

@@ -250,3 +250,87 @@ func TestInjectorDrivesSimrtCluster(t *testing.T) {
 		t.Fatalf("crashed ranks %v / %v, want [1] both times", crashed1, crashed2)
 	}
 }
+
+// TestPermanentStragglerWindow: omitting :n<steps> makes a straggler
+// permanent — the scale applies from its start step to the end of the
+// run, surviving arbitrarily many re-arms.
+func TestPermanentStragglerWindow(t *testing.T) {
+	plan, err := ParsePlan("straggler:r1@s3:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan, 4)
+	for _, step := range []int{0, 2} {
+		inj.Arm(step, 0)
+		if s := inj.ComputeScale(1); s != 1 {
+			t.Fatalf("step %d: scale %v before the window opens, want 1", step, s)
+		}
+	}
+	for _, step := range []int{3, 4, 100, 100000} {
+		inj.Arm(step, 0)
+		if s := inj.ComputeScale(1); s != 2 {
+			t.Fatalf("step %d: scale %v, want the permanent 2", step, s)
+		}
+	}
+}
+
+// TestOverlappingWindowsCompound: two straggler windows on the same rank
+// multiply while both are open, and a link derate overlapping them is
+// reported independently — compute faults never leak into link state or
+// vice versa. Overlapping derates on one class also compound.
+func TestOverlappingWindowsCompound(t *testing.T) {
+	plan, err := ParsePlan("straggler:r1@s3:x2,straggler:r1@s4:x3:n2,link:inter@s3:x4:n3,link:inter@s4:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(plan, 4)
+
+	wantScale := map[int]float64{2: 1, 3: 2, 4: 6, 5: 6, 6: 2}
+	wantInter := map[int]float64{2: 0, 3: 4, 4: 8, 5: 4, 6: 0}
+	for step := 2; step <= 6; step++ {
+		inj.Arm(step, 0)
+		if s := inj.ComputeScale(1); s != wantScale[step] {
+			t.Errorf("step %d: compute scale %v, want %v", step, s, wantScale[step])
+		}
+		d := inj.LinkDerates(step)
+		if got := d[topology.LinkInterNode]; got != wantInter[step] {
+			t.Errorf("step %d: inter derate %v, want %v", step, got, wantInter[step])
+		}
+		if wantInter[step] == 0 && d != nil {
+			t.Errorf("step %d: derate map %v, want nil when all links are healthy", step, d)
+		}
+		if s := inj.ComputeScale(0); s != 1 {
+			t.Errorf("step %d: rank 0 scale %v, the faults target rank 1 only", step, s)
+		}
+	}
+}
+
+// TestParsePlanSpares: the plan-level spares:<n> token sizes the
+// hot-spare pool, accumulates across repeats, round-trips through
+// String, and rejects malformed counts.
+func TestParsePlanSpares(t *testing.T) {
+	plan, err := ParsePlan("spares:2,crash:r1@s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Spares != 2 || len(plan.Events) != 1 {
+		t.Fatalf("got spares %d with %d events, want 2 and 1", plan.Spares, len(plan.Events))
+	}
+	if got, want := plan.String(), "spares:2,crash:r1@s3"; got != want {
+		t.Fatalf("round-trip %q, want %q", got, want)
+	}
+	if p2, err := ParsePlan(plan.String()); err != nil || p2.Spares != 2 {
+		t.Fatalf("re-parse: %v spares %d", err, p2.Spares)
+	}
+	if p, err := ParsePlan("spares:1,spares:2"); err != nil || p.Spares != 3 {
+		t.Fatalf("repeat tokens must accumulate: %v spares %d, want 3", err, p.Spares)
+	}
+	if p, err := ParsePlan("crash:r0@s1"); err != nil || p.Spares != 0 {
+		t.Fatalf("no token means no spares: %v spares %d", err, p.Spares)
+	}
+	for _, bad := range []string{"spares:-1", "spares:x", "spares:", "spares:1.5"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}

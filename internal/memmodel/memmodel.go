@@ -113,6 +113,30 @@ func ZeROStates(params int64, dp, stage int, bytesParam, bytesGrad, bytesOpt int
 	return s
 }
 
+// CheckpointBytes predicts the peak-rank bytes one checkpoint write
+// streams to stable storage, derived from the same ZeROStates sharding
+// the in-memory verdicts use. expertElems counts the rank's local
+// expert-parameter elements (already sharded over EP — each rank
+// persists its own experts and their full optimizer state); denseElems
+// counts the replicated dense parameters, whose single persisted copy
+// divides across the dp writers while the optimizer copy follows the
+// ZeRO stage: stage 0 keeps it replicated (one rank writes the whole
+// vector — the peak this returns), stages 1+ write only the rank's
+// shard. optBytes is the per-element optimizer-state size (0 for a
+// stateless optimizer).
+func CheckpointBytes(expertElems, denseElems int64, dp, stage int, elemBytes, optBytes int64) int64 {
+	d := int64(dp)
+	if d < 1 {
+		d = 1
+	}
+	expert := ZeROStates(expertElems, 1, 0, elemBytes, 0, optBytes)
+	dense := ZeROStates(denseElems, dp, stage, elemBytes, 0, optBytes)
+	b := expert.Params + expert.Opt
+	b += (dense.Params + d - 1) / d // one persisted copy, split across writers
+	b += dense.Opt
+	return b
+}
+
 // ModelStates returns the per-GPU bytes of parameters, gradients and
 // optimizer states under the plan's TP/EP sharding and ZeRO stage. Expert
 // parameters shard over EP and their optimizer (and ZeRO-2 gradients)

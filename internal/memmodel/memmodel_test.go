@@ -253,3 +253,36 @@ func TestSSMBSavingEdge(t *testing.T) {
 		t.Fatal("G=1 has nothing to save")
 	}
 }
+
+// TestCheckpointBytes pins the checkpoint-write volume: expert state is
+// charged in full (each rank owns its experts), the single persisted
+// dense-parameter copy divides across the dp writers, and the dense
+// optimizer copy tracks the configured ZeRO stage — replicated at stage
+// 0, sharded at stages 1 and 2.
+func TestCheckpointBytes(t *testing.T) {
+	const expert, dense = int64(1000), int64(800)
+	s0 := CheckpointBytes(expert, dense, 4, 0, 4, 4)
+	s1 := CheckpointBytes(expert, dense, 4, 1, 4, 4)
+	s2 := CheckpointBytes(expert, dense, 4, 2, 4, 4)
+	// expert params+opt 1000*8, dense params 800*4/4, dense opt 800*4
+	// replicated or 800*4/4 sharded.
+	if want := int64(1000*8 + 800 + 3200); s0 != want {
+		t.Fatalf("stage 0: %d, want %d", s0, want)
+	}
+	if want := int64(1000*8 + 800 + 800); s1 != want {
+		t.Fatalf("stage 1: %d, want %d", s1, want)
+	}
+	// Checkpoints persist no gradients, so stage 2 writes what stage 1
+	// writes.
+	if s2 != s1 {
+		t.Fatalf("stage 2 %d must match stage 1 %d (no gradients persisted)", s2, s1)
+	}
+	// No optimizer (plain SGD): the opt terms vanish entirely.
+	if got, want := CheckpointBytes(expert, dense, 4, 0, 4, 0), int64(1000*4+800); got != want {
+		t.Fatalf("no-momentum: %d, want %d", got, want)
+	}
+	// dp<1 is treated as a single writer.
+	if got, want := CheckpointBytes(expert, dense, 0, 1, 4, 4), int64(1000*8+3200+3200); got != want {
+		t.Fatalf("dp=0: %d, want %d", got, want)
+	}
+}

@@ -75,6 +75,14 @@ type PipelineOpts struct {
 	// passes accept the same chunk count to overlap their mirrored
 	// all-to-alls (see PFTBackward).
 	OverlapChunks int
+	// CapacityByExpert, when non-nil, overrides the uniform
+	// Config.Capacity with a per-expert capacity vector (one entry per
+	// global expert, each >= 1) during PFT construction — the
+	// straggler-aware rebalance computed by RebalanceCapacity. The PFT
+	// and RBD transports carry the resulting uneven segments natively;
+	// the padded pipeline rejects it (its even all-to-all requires one
+	// uniform capacity).
+	CapacityByExpert []int
 	// OnDWReady, when set, is invoked exactly once per backward pass
 	// (PFTBackward / PaddedBackward, blocking or chunked) at the point
 	// where the layer's weight gradients are complete and the backward's
@@ -124,6 +132,12 @@ func (o PipelineOpts) Check() error {
 	}
 	if o.DropPolicy < DropByCapacityWeight || o.DropPolicy > DropNegativeThenPosition {
 		return &OptionError{Opt: "DropPolicy", Detail: fmt.Sprintf("moe: unknown drop policy %d", o.DropPolicy)}
+	}
+	for e, c := range o.CapacityByExpert {
+		if c < 1 {
+			return &OptionError{Opt: "CapacityByExpert",
+				Detail: fmt.Sprintf("moe: CapacityByExpert[%d] = %d; every per-expert capacity must be >= 1", e, c)}
+		}
 	}
 	return nil
 }
@@ -231,6 +245,17 @@ type PaddedFwdState struct {
 	CombineFull *tensor.Tensor
 }
 
+// RoutedPFT builds the PFT a transport dispatches: the uniform
+// Config.Capacity unless opts.CapacityByExpert rebalances it per expert.
+// Shared by the PFT pipeline and the RBD dispatcher, so both transports
+// see identical routing decisions under mitigation.
+func RoutedPFT(routing Routing, cfg Config, s int, opts PipelineOpts) *PFT {
+	if opts.CapacityByExpert != nil {
+		return BuildPFTCaps(routing, cfg.NumExperts, opts.CapacityByExpert, opts.DropPolicy)
+	}
+	return BuildPFT(routing, cfg.NumExperts, cfg.Capacity(s), opts.DropPolicy)
+}
+
 // epCheck validates the expert-parallel layout and returns experts/rank.
 func epCheck(cfg Config, g *simrt.Group) int {
 	if cfg.NumExperts%g.Size() != 0 {
@@ -267,7 +292,7 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 		comp.MemBoundN(perfmodel.ClassTriton, 6,
 			int64(s*cfg.NumExperts)*elem+int64(s*cfg.TopK)*24)
 	r.Compute(StageGate, gateTime)
-	pft := BuildPFT(routing, cfg.NumExperts, cfg.Capacity(s), opts.DropPolicy)
+	pft := RoutedPFT(routing, cfg, s, opts)
 	b := pft.B()
 	mem.Alloc("eri", pft.ERIBytes())
 
@@ -484,6 +509,10 @@ func PFTForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tens
 // mask-einsum combine.
 func PaddedForward(r *simrt.Rank, g *simrt.Group, cfg Config, s int, x *tensor.Tensor, routing Routing, params *ExpertParams, opts PipelineOpts) LayerResult {
 	opts.mustCheck()
+	if opts.CapacityByExpert != nil {
+		panic((&OptionError{Opt: "CapacityByExpert",
+			Detail: "moe: the padded pipeline's even all-to-all requires uniform expert capacity; per-expert rebalance needs the pft or rbd transport"}).Error())
+	}
 	epr := epCheck(cfg, g)
 	p := g.Size()
 	h, f, e := cfg.HModel, cfg.HFFN, cfg.NumExperts

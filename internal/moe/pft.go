@@ -61,6 +61,30 @@ type pftEntry struct {
 // policy against maxTokenCount (the expert capacity), and emit the
 // ERI-arrays. A maxTokenCount <= 0 means unlimited capacity.
 func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT {
+	return buildPFT(r, numExperts, nil, maxTokenCount, policy)
+}
+
+// BuildPFTCaps is BuildPFT with a per-expert capacity vector: caps[e]
+// bounds expert e's retained rows (entries <= 0 mean unlimited). The
+// straggler-aware capacity rebalance (RebalanceCapacity) uses it to
+// shift rows away from slow ranks' experts; the flat uneven all-to-all
+// and the RBD hierarchy carry uneven segments natively, so only the
+// padded pipeline (whose even exchange requires uniform capacity)
+// rejects it.
+func BuildPFTCaps(r Routing, numExperts int, caps []int, policy DropPolicy) *PFT {
+	if len(caps) != numExperts {
+		panic(fmt.Sprintf("moe: capacity vector has %d entries for %d experts", len(caps), numExperts))
+	}
+	return buildPFT(r, numExperts, caps, 0, policy)
+}
+
+func buildPFT(r Routing, numExperts int, caps []int, maxTokenCount int, policy DropPolicy) *PFT {
+	capFor := func(e int) int {
+		if caps != nil {
+			return caps[e]
+		}
+		return maxTokenCount
+	}
 	k := r.K()
 	entries := make([]pftEntry, 0, r.S*k)
 	for t := 0; t < r.S; t++ {
@@ -124,11 +148,12 @@ func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT 
 			hi++
 		}
 		seg := entries[lo:hi]
-		if maxTokenCount > 0 && len(seg) > maxTokenCount {
+		limit := capFor(entries[lo].expert)
+		if limit > 0 && len(seg) > limit {
 			switch policy {
 			case DropByCapacityWeight:
-				// Keep the maxTokenCount highest-weight entries
-				// (Listing 1 lines 24-33), then restore flat order.
+				// Keep the limit highest-weight entries (Listing 1 lines
+				// 24-33), then restore flat order.
 				idx := make([]int, len(seg))
 				for i := range idx {
 					idx[i] = i
@@ -140,7 +165,7 @@ func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT 
 					return seg[idx[a]].flat < seg[idx[b]].flat
 				})
 				keep := make([]bool, len(seg))
-				for _, i := range idx[:maxTokenCount] {
+				for _, i := range idx[:limit] {
 					keep[i] = true
 				}
 				for i, e := range seg {
@@ -150,9 +175,9 @@ func BuildPFT(r Routing, numExperts, maxTokenCount int, policy DropPolicy) *PFT 
 				}
 			case DropNegativeThenPosition:
 				// First-come-first-served: seg is already flat-ordered.
-				retained = append(retained, seg[:maxTokenCount]...)
+				retained = append(retained, seg[:limit]...)
 			}
-			dropped += len(seg) - maxTokenCount
+			dropped += len(seg) - limit
 		} else {
 			retained = append(retained, seg...)
 		}

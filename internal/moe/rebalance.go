@@ -1,0 +1,61 @@
+package moe
+
+// Straggler-aware expert-capacity rebalance: the fault injector models
+// slow ranks deterministically, and under BSP every collective waits for
+// the slowest one, so a straggler's expert GEMM time bounds the step.
+// Shifting expert capacity away from slow ranks shrinks the rows their
+// experts process (tokens above the reduced cap are dropped by the usual
+// drop policy) and hands the headroom to fast ranks, trading a bounded
+// amount of extra dropping on slow experts for a shorter critical path.
+// The shift is clamped to ±bound so the loss trajectory stays within
+// tolerance of the uniform baseline.
+
+import "math"
+
+// RebalanceCapacity returns a per-expert capacity vector for a world of
+// `world` expert-parallel ranks given each rank's observed previous-step
+// time: rank r's experts get the uniform capacity Config.Capacity(s)
+// scaled by r's relative speed (inverse observed time, normalised so an
+// all-equal observation reproduces the uniform capacity), clamped to
+// [1-bound, 1+bound]. Every capacity is at least 1. Returns nil — route
+// uniformly — when the bound is off, the observations are missing or
+// non-positive, or the ranks are equally fast (no rebalance to do).
+// Callers pass the result through PipelineOpts.CapacityByExpert; it must
+// be computed once before the SPMD step from the same observations on
+// every rank, keeping routing deterministic.
+func RebalanceCapacity(cfg Config, s, world int, stepTimes []float64, bound float64) []int {
+	if bound <= 0 || world < 1 || len(stepTimes) != world || cfg.NumExperts%world != 0 {
+		return nil
+	}
+	invSum := 0.0
+	equal := true
+	for _, t := range stepTimes {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil
+		}
+		invSum += 1 / t
+		equal = equal && t == stepTimes[0]
+	}
+	if equal {
+		return nil
+	}
+	base := float64(cfg.Capacity(s))
+	epr := cfg.NumExperts / world
+	caps := make([]int, cfg.NumExperts)
+	for r := 0; r < world; r++ {
+		rel := (1 / stepTimes[r]) * float64(world) / invSum
+		if rel < 1-bound {
+			rel = 1 - bound
+		} else if rel > 1+bound {
+			rel = 1 + bound
+		}
+		c := int(math.Round(base * rel))
+		if c < 1 {
+			c = 1
+		}
+		for le := 0; le < epr; le++ {
+			caps[r*epr+le] = c
+		}
+	}
+	return caps
+}

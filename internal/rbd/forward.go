@@ -35,7 +35,7 @@ func Forward(r *simrt.Rank, d *Dispatcher, cfg moe.Config, s int, x *tensor.Tens
 		comp.MemBoundN(perfmodel.ClassTriton, 6,
 			int64(s*cfg.NumExperts)*elem+int64(s*cfg.TopK)*24)
 	r.Compute(moe.StageGate, gateTime)
-	pft := moe.BuildPFT(routing, cfg.NumExperts, cfg.Capacity(s), opts.DropPolicy)
+	pft := moe.RoutedPFT(routing, cfg, s, opts)
 	b := pft.B()
 	mem.Alloc("eri", pft.ERIBytes())
 

@@ -201,6 +201,12 @@ type Rank struct {
 	C *Cluster
 	// Clock is the rank's virtual time in seconds.
 	Clock float64
+	// Busy is the cumulative compute time this rank spent, excluding
+	// collective waits. Unlike Clock — which BSP rendezvous synchronise
+	// to the group maximum at every collective — Busy keeps per-rank
+	// skew visible, so harnesses can observe which ranks are slow
+	// (straggler scaling multiplies compute durations).
+	Busy float64
 	// Trace records per-stage durations on this rank.
 	Trace *trace.Recorder
 	// commBusyUntil is the virtual time at which this rank's
@@ -250,6 +256,7 @@ func (r *Rank) Compute(name string, dur float64) {
 	}
 	r.Trace.Record(name, r.Clock, dur)
 	r.Clock += dur
+	r.Busy += dur
 }
 
 // GEMM models one [m,k]x[k,n] matmul on this rank's device.
@@ -341,6 +348,22 @@ func MaxClock(ranks []*Rank) float64 {
 		}
 	}
 	return m
+}
+
+// BusyTimes returns every rank's cumulative compute time by rank ID
+// (0 for ranks that never started). These are the per-rank observed
+// times the straggler-aware capacity rebalance feeds on: final Clocks
+// are useless for that — BSP rendezvous equalise them at every
+// collective — but Busy keeps the skew, so an injected straggler shows
+// up as a slot whose compute time exceeds the rest.
+func BusyTimes(ranks []*Rank) []float64 {
+	out := make([]float64, len(ranks))
+	for i, r := range ranks {
+		if r != nil {
+			out[i] = r.Busy
+		}
+	}
+	return out
 }
 
 // PeakMemory returns the maximum per-device peak across the cluster,

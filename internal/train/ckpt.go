@@ -87,15 +87,19 @@ func (t *DistTrainer) Checkpoint() *Checkpoint {
 // weights onto the trainer's current world size. The world may be smaller
 // than at capture time (elastic recovery after Shrink): surviving rank
 // slots keep their data streams, and slots beyond the new world are
-// simply retired with their state still in the checkpoint.
+// simply retired with their state still in the checkpoint. The world may
+// also be larger (hot-spare regrow after Grow): slots the checkpoint
+// covers resume their captured streams, and slots beyond the capture —
+// spares promoted into a world wider than the snapshot's — restart their
+// streams from the slot seed, the same deterministic dataSeed(seed, slot)
+// a fresh trainer would give them. Streams belong to slots either way,
+// so the same checkpoint + world transition always replays identically.
+// Straggler observations (the mitigation's capacity-rebalance input) are
+// reset: the first restored step routes uniformly and re-learns.
 func (t *DistTrainer) Restore(ck *Checkpoint) error {
 	e := t.Cfg.MoE.NumExperts
 	if len(ck.W1) != e || len(ck.W2) != e {
 		return fmt.Errorf("train: checkpoint holds %d experts, trainer wants %d", len(ck.W1), e)
-	}
-	if t.Cfg.World > len(ck.DataRNG) {
-		return fmt.Errorf("train: checkpoint has %d rank slots, world is %d (elastic growth is unsupported)",
-			len(ck.DataRNG), t.Cfg.World)
 	}
 	if t.velW1 != nil && ck.VelW1 != nil && len(ck.VelW1) != e {
 		return fmt.Errorf("train: checkpoint holds %d expert velocities, trainer wants %d", len(ck.VelW1), e)
@@ -107,8 +111,13 @@ func (t *DistTrainer) Restore(ck *Checkpoint) error {
 			t.params[rank].W2[le].Copy(ck.W2[rank*epr+le])
 		}
 		copy(t.bias[rank], ck.Bias)
-		t.dataRNG[rank].SetState(ck.DataRNG[rank])
+		if rank < len(ck.DataRNG) {
+			t.dataRNG[rank].SetState(ck.DataRNG[rank])
+		} else {
+			t.dataRNG[rank] = tensor.NewRNG(dataSeed(t.Cfg.Seed, rank))
+		}
 	}
+	t.lastClocks = nil
 	if t.velW1 != nil {
 		// Reshard the momentum state onto the current world and ZeRO
 		// geometry; a checkpoint without velocity restores to zeros (a
@@ -141,18 +150,13 @@ func (t *DistTrainer) Restore(ck *Checkpoint) error {
 	return nil
 }
 
-// Shrink rebuilds the trainer for a smaller world: a fresh cluster (a
-// failed Run poisons the old one), fresh per-rank containers, and a world
-// group over the surviving ranks. It does NOT restore weights — callers
-// follow up with Restore to reshard a checkpoint onto the new layout.
-func (t *DistTrainer) Shrink(newWorld int) error {
-	if newWorld < 1 || newWorld > t.Cfg.World {
-		return fmt.Errorf("train: cannot shrink world %d to %d", t.Cfg.World, newWorld)
-	}
-	if t.Cfg.MoE.NumExperts%newWorld != 0 {
-		return fmt.Errorf("train: %d experts not divisible by shrunk world %d",
-			t.Cfg.MoE.NumExperts, newWorld)
-	}
+// rebuild reconstructs the trainer for a new world size: a fresh cluster
+// (a failed Run poisons the old one), fresh per-rank containers seeded by
+// slot, and a world group over the new ranks. Straggler observations are
+// dropped — they described the old world. Callers (Shrink, Grow) have
+// validated newWorld and follow up with Restore to reshard a checkpoint
+// onto the new layout.
+func (t *DistTrainer) rebuild(newWorld int) {
 	cfg := t.Cfg
 	cfg.World = newWorld
 	cluster := simrt.NewCluster(cfg.Machine, cfg.World, cfg.Seed)
@@ -175,6 +179,42 @@ func (t *DistTrainer) Shrink(newWorld int) error {
 		t.dataRNG[rank] = tensor.NewRNG(dataSeed(cfg.Seed, rank))
 	}
 	t.initShardState()
+	t.lastClocks = nil
+}
+
+// Shrink rebuilds the trainer for a smaller (or equal — a same-size
+// rebuild after a crash with full replacement) world. It does NOT restore
+// weights — callers follow up with Restore to reshard a checkpoint onto
+// the new layout.
+func (t *DistTrainer) Shrink(newWorld int) error {
+	if newWorld < 1 || newWorld > t.Cfg.World {
+		return fmt.Errorf("train: cannot shrink world %d to %d", t.Cfg.World, newWorld)
+	}
+	if t.Cfg.MoE.NumExperts%newWorld != 0 {
+		return fmt.Errorf("train: %d experts not divisible by shrunk world %d",
+			t.Cfg.MoE.NumExperts, newWorld)
+	}
+	t.rebuild(newWorld)
+	return nil
+}
+
+// Grow is the inverse of Shrink: rebuild the trainer for a larger (or
+// equal) world, the recovery path that promotes hot spares into dead
+// ranks' slots instead of shrinking for the rest of the run. Slot
+// semantics mirror Shrink exactly — expert weights reshard from the
+// checkpoint's global order, slot r's weights-init and data-stream seeds
+// are functions of r alone — so a spare promoted into slot r is
+// indistinguishable from a replacement node and the grown run stays
+// bit-deterministic. Callers follow up with Restore.
+func (t *DistTrainer) Grow(newWorld int) error {
+	if newWorld < t.Cfg.World {
+		return fmt.Errorf("train: cannot grow world %d to %d", t.Cfg.World, newWorld)
+	}
+	if t.Cfg.MoE.NumExperts%newWorld != 0 {
+		return fmt.Errorf("train: %d experts not divisible by grown world %d",
+			t.Cfg.MoE.NumExperts, newWorld)
+	}
+	t.rebuild(newWorld)
 	return nil
 }
 
@@ -187,4 +227,97 @@ func ShrinkWorld(experts, survivors int) int {
 		}
 	}
 	return 0
+}
+
+// CkptStream models asynchronous checkpointing as a double buffer plus
+// one in-flight off-node write, with the same accounting convention as
+// the CommHandle overlap machinery (simrt.AlltoAllVAsync): issuing a
+// write snapshots the state and costs nothing up front; the write
+// completes Cost simulated seconds later on its own stream, and training
+// only pays the *uncovered remainder* — the part of the write the
+// subsequent steps' wall-clock did not hide. The consistency rule is the
+// one real async checkpointers enforce: a crash mid-write discards the
+// partial file and recovery falls back to the last snapshot whose write
+// had fully completed by the crash time. Blocking checkpointing is the
+// degenerate schedule Issue-then-Drain (the whole write is uncovered),
+// which reproduces the stop-the-world accounting exactly.
+//
+// All times are positions on the fault-tolerant loop's wall clock; the
+// stream itself is pure accounting and holds at most two snapshots
+// (completed + in-flight), the double buffer.
+type CkptStream struct {
+	// Cost is the seconds one snapshot takes to stream off-node.
+	Cost float64
+
+	completed  *Checkpoint // last fully durable snapshot
+	pending    *Checkpoint // in-flight write, nil when idle
+	pendingEnd float64     // wall time the in-flight write completes
+}
+
+// NewCkptStream starts a stream whose durable base is `initial` — for a
+// training run, the step-0 state, durable by construction (it is a pure
+// function of the seed). Writes issued later supersede it only once they
+// complete.
+func NewCkptStream(cost float64, initial *Checkpoint) *CkptStream {
+	return &CkptStream{Cost: cost, completed: initial}
+}
+
+// advance promotes the in-flight write if the wall clock has passed its
+// completion time: the write finished under cover of training compute,
+// at zero charged cost.
+func (cs *CkptStream) advance(wall float64) {
+	if cs.pending != nil && wall >= cs.pendingEnd {
+		cs.completed = cs.pending
+		cs.pending = nil
+	}
+}
+
+// Issue starts an asynchronous write of ck at the given wall time and
+// returns the seconds to charge now: zero when the stream is idle, else
+// the uncovered remainder of the previous write (back-to-back issues
+// serialise on the single off-node stream, exactly like two async
+// collectives on one comm stream).
+func (cs *CkptStream) Issue(ck *Checkpoint, wall float64) (charged float64) {
+	cs.advance(wall)
+	if cs.pending != nil {
+		charged = cs.pendingEnd - wall
+		cs.completed = cs.pending
+	}
+	cs.pending = ck
+	cs.pendingEnd = wall + charged + cs.Cost
+	return charged
+}
+
+// Drain blocks until the in-flight write (if any) is durable, returning
+// the uncovered remainder to charge. Issue+Drain is blocking
+// checkpointing; a final Drain at the end of a run makes the last
+// snapshot durable before the wall clock stops.
+func (cs *CkptStream) Drain(wall float64) (charged float64) {
+	cs.advance(wall)
+	if cs.pending != nil {
+		charged = cs.pendingEnd - wall
+		cs.completed = cs.pending
+		cs.pending = nil
+	}
+	return charged
+}
+
+// Abort applies the crash consistency rule at the given wall time: an
+// in-flight write that had already completed is promoted (the file was
+// durable before the crash); one still in flight is discarded — its
+// partial file is useless — and recovery falls back to the last
+// completed snapshot, which Abort returns.
+func (cs *CkptStream) Abort(wall float64) *Checkpoint {
+	cs.advance(wall)
+	cs.pending = nil
+	return cs.completed
+}
+
+// Completed returns the snapshot a crash at the given wall time would
+// restore, without mutating the stream.
+func (cs *CkptStream) Completed(wall float64) *Checkpoint {
+	if cs.pending != nil && wall >= cs.pendingEnd {
+		return cs.pending
+	}
+	return cs.completed
 }

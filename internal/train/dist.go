@@ -64,6 +64,15 @@ type DistConfig struct {
 	// Momentum enables SGD momentum (velocity state), the optimizer state
 	// that ZeRO stages 1/2 shard; 0 selects plain SGD with no state.
 	Momentum float64
+	// Mitigation enables straggler-aware expert routing: each step, the
+	// previous step's observed per-rank times shift expert capacity away
+	// from slow ranks (moe.RebalanceCapacity), clamped to ±Mitigation of
+	// the uniform capacity so the loss trajectory stays within tolerance
+	// of the unmitigated baseline. 0 disables it; it requires the pft or
+	// rbd transport (the padded even all-to-all cannot carry uneven
+	// capacities). Observations reset on Restore and elastic
+	// rebuilds — the first step after either routes uniformly.
+	Mitigation float64
 	// Opts configures the pipelines; Numeric and SaveForBackward are
 	// forced on (a numeric training step needs both), OverlapChunks and
 	// DropPolicy are honoured in both passes.
@@ -100,6 +109,13 @@ func (c DistConfig) Check() error {
 	if c.Momentum < 0 || c.Momentum >= 1 {
 		return fmt.Errorf("train: momentum %g not in [0,1)", c.Momentum)
 	}
+	if c.Mitigation < 0 || c.Mitigation > 1 {
+		return fmt.Errorf("train: mitigation bound %g not in [0,1]", c.Mitigation)
+	}
+	if c.Mitigation > 0 && c.Transport == "padded" {
+		return fmt.Errorf("train: transport padded: %w", &moe.OptionError{Opt: "Mitigation",
+			Detail: "moe: the padded pipeline's even all-to-all requires uniform expert capacity; straggler mitigation needs the pft or rbd transport"})
+	}
 	return c.Opts.Check()
 }
 
@@ -134,6 +150,13 @@ type DistTrainer struct {
 	// stages 1/2 (the state ZeRO shards).
 	velW1, velW2 [][]*tensor.Tensor
 	biasVel      [][]float32
+	// lastClocks holds the previous successful step's per-rank observed
+	// times — the straggler signal Cfg.Mitigation rebalances expert
+	// capacity on. Deliberately NOT part of the checkpoint: it is an
+	// observation of the machine, not training state, and it is reset on
+	// Restore and on elastic rebuilds so the first step after either
+	// routes uniformly and re-learns.
+	lastClocks []float64
 }
 
 // DistStepStats reports one simulated training step.
@@ -265,20 +288,23 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 	s, h := cfg.Tokens, cfg.MoE.HModel
 	t.step++
 
+	// Straggler mitigation: rebalance expert capacity from the previous
+	// step's observed per-rank times. The vector is computed once here,
+	// before the SPMD bodies launch, so every rank routes from the same
+	// deterministic capacities; nil (no observations yet, or all ranks
+	// equally fast) keeps uniform routing.
+	fwdOpts := cfg.Opts
+	if cfg.Mitigation > 0 {
+		if caps := moe.RebalanceCapacity(cfg.MoE, s, cfg.World, t.lastClocks, cfg.Mitigation); caps != nil {
+			fwdOpts.CapacityByExpert = caps
+		}
+	}
+
 	var mu sync.Mutex
 	stats := DistStepStats{}
 	recs := make([]*trace.Recorder, cfg.World)
-	clocks := make([]float64, cfg.World)
-	err := t.cluster.Run(func(r *simrt.Rank) error {
+	ranks, err := t.cluster.RunCollect(func(r *simrt.Rank) error {
 		idx := t.group.IndexOf(r.ID)
-		// Record the clock even when the step aborts mid-collective: a
-		// failed attempt's partial wall time is real lost work and the
-		// fault-tolerant loop charges it against goodput.
-		defer func() {
-			mu.Lock()
-			clocks[idx] = r.Clock
-			mu.Unlock()
-		}()
 		// Deterministic per-rank input streams, consumed identically by
 		// every transport and chunk count, so chunked and blocking runs
 		// see identical data.
@@ -294,13 +320,13 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 		var bwd func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult
 		switch cfg.Transport {
 		case "pft":
-			res := moe.PFTForward(r, t.group, cfg.MoE, s, x, routing, params, cfg.Opts)
+			res := moe.PFTForward(r, t.group, cfg.MoE, s, x, routing, params, fwdOpts)
 			out, dropped = res.Output, res.Dropped
 			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
 				return moe.PFTBackward(r, t.group, cfg.MoE, res.State, dOut, params, opts)
 			}
 		case "padded":
-			res := moe.PaddedForward(r, t.group, cfg.MoE, s, x, routing, params, cfg.Opts)
+			res := moe.PaddedForward(r, t.group, cfg.MoE, s, x, routing, params, fwdOpts)
 			out, dropped = res.Output, res.Dropped
 			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
 				return moe.PaddedBackward(r, t.group, cfg.MoE, res.PaddedState, dOut, params, opts)
@@ -309,7 +335,7 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 			// The pilot draws come from the slot's persistent data stream, so
 			// pilot selection is part of the checkpointed training state: a
 			// restored run replays the identical pilots with no extra fields.
-			res := rbd.Forward(r, t.rbdDisp, cfg.MoE, s, x, routing, params, rng, cfg.Opts)
+			res := rbd.Forward(r, t.rbdDisp, cfg.MoE, s, x, routing, params, rng, fwdOpts)
 			out, dropped = res.Output, res.Dropped
 			bwd = func(dOut *tensor.Tensor, opts moe.PipelineOpts) moe.BackwardResult {
 				return rbd.Backward(r, t.rbdDisp, cfg.MoE, res.State, dOut, params, opts)
@@ -340,7 +366,7 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 		}
 		lossH := r.AllReduceAsync(t.group, "loss_allreduce", []float32{float32(localLoss)}, 4)
 		syncer := zero.NewSyncer(r, t.group, "grad_sync", t.zcfg)
-		bopts := cfg.Opts
+		bopts := fwdOpts
 		bopts.OnDWReady = func() {
 			syncer.Add(gradBias, int64(4*h))
 			syncer.Flush()
@@ -425,20 +451,16 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 		mu.Unlock()
 		return nil
 	})
+	// Per-rank compute times, read after the Run joins. Final clocks are
+	// equalised by the BSP rendezvous, but Busy keeps per-rank skew: the
+	// world group is the rank-ID order, so busy[i] is rank slot i's
+	// observed compute time — the mitigation's straggler signal.
+	busy := simrt.BusyTimes(ranks)
 	if err != nil {
-		partial := DistStepStats{}
-		for _, c := range clocks {
-			if c > partial.WallClock {
-				partial.WallClock = c
-			}
-		}
-		return partial, err
+		return DistStepStats{WallClock: simrt.MaxClock(ranks)}, err
 	}
-	for _, c := range clocks {
-		if c > stats.WallClock {
-			stats.WallClock = c
-		}
-	}
+	stats.WallClock = simrt.MaxClock(ranks)
+	t.lastClocks = busy
 	stats.Breakdown = trace.Merge(recs, true)
 	for i, rec := range recs {
 		var inFlight float64
@@ -446,7 +468,7 @@ func (t *DistTrainer) Step() (DistStepStats, error) {
 			inFlight += d
 		}
 		stats.CommInFlight += inFlight / float64(len(recs))
-		if im := math.Abs(rec.ChargedTotal() - clocks[i]); im > stats.MaxImbalance {
+		if im := math.Abs(rec.ChargedTotal() - ranks[i].Clock); im > stats.MaxImbalance {
 			stats.MaxImbalance = im
 		}
 	}
